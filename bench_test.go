@@ -1,0 +1,219 @@
+package disc_test
+
+// One benchmark per table and figure of the paper's evaluation (run the
+// corresponding experiment end-to-end at a reduced scale and report
+// ns/op), plus ablation benches for the design choices DESIGN.md calls
+// out: lower-bound pruning, X-set memoization, the κ restriction, the
+// neighbor-index choice, and parallel saving.
+//
+//	go test -bench 'BenchmarkTable|BenchmarkFig' -benchmem
+//	go test -bench BenchmarkAblation -benchmem
+
+import (
+	"testing"
+
+	disc "repro"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/neighbors"
+)
+
+// benchScale keeps a full experiment pass benchable; the per-experiment
+// defaults already downscale the big datasets further.
+const benchScale = 0.25
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exp.Config{Seed: 1, SizeScale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+
+// ablationWorkload builds a mid-size Letter-style dataset once per bench.
+func ablationWorkload(b *testing.B) (*disc.Dataset, disc.Constraints) {
+	b.Helper()
+	ds, err := disc.Table1("Letter", 0.15, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, disc.Constraints{Eps: ds.Eps, Eta: ds.Eta}
+}
+
+func benchSaveAll(b *testing.B, ds *disc.Dataset, cons disc.Constraints, opts disc.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	saved := 0
+	for i := 0; i < b.N; i++ {
+		res, err := disc.Save(ds.Rel, cons, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = res.Saved
+	}
+	b.ReportMetric(float64(saved), "saved")
+}
+
+// BenchmarkAblationPruning compares Algorithm 1 with and without the
+// Proposition 3 lower-bound pruning.
+func BenchmarkAblationPruning(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	b.Run("pruning=on", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2})
+	})
+	b.Run("pruning=off", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2, DisablePruning: true})
+	})
+}
+
+// BenchmarkAblationMemo compares the memoized X-set deduplication against
+// re-processing duplicate sets.
+func BenchmarkAblationMemo(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	b.Run("memo=on", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2})
+	})
+	b.Run("memo=off", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2, DisableMemo: true})
+	})
+}
+
+// BenchmarkAblationKappa sweeps the adjusted-attribute budget κ: the
+// O(m^{κ+1}·n) cost of §3.3 versus the unrestricted recursion.
+func BenchmarkAblationKappa(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	for _, kappa := range []int{1, 2, 3, 0} {
+		name := "kappa=unrestricted"
+		if kappa > 0 {
+			name = "kappa=" + string(rune('0'+kappa))
+		}
+		b.Run(name, func(b *testing.B) {
+			benchSaveAll(b, ds, cons, disc.Options{Kappa: kappa})
+		})
+	}
+}
+
+// BenchmarkAblationIndex compares ε-range query throughput across the
+// three neighbor indexes on the Flight geometry (m=3 numeric).
+func BenchmarkAblationIndex(b *testing.B) {
+	ds, err := disc.Table1("Flight", 0.025, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builders := map[string]func() neighbors.Index{
+		"brute":  func() neighbors.Index { return neighbors.NewBrute(ds.Rel) },
+		"grid":   func() neighbors.Index { return neighbors.NewGrid(ds.Rel, ds.Eps) },
+		"kdtree": func() neighbors.Index { return neighbors.NewKDTree(ds.Rel) },
+		"vptree": func() neighbors.Index { return neighbors.NewVPTree(ds.Rel, 1) },
+	}
+	for name, build := range builders {
+		b.Run(name, func(b *testing.B) {
+			idx := build()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := i % ds.N()
+				idx.CountWithin(ds.Rel.Tuples[q], ds.Eps, q, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallel compares sequential and parallel outlier
+// saving.
+func BenchmarkAblationParallel(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	b.Run("workers=1", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2, Workers: 1})
+	})
+	b.Run("workers=all", func(b *testing.B) {
+		benchSaveAll(b, ds, cons, disc.Options{Kappa: 2})
+	})
+}
+
+// BenchmarkSaveSingle measures one Algorithm 1 invocation against a fixed
+// inlier set (the unit the O(2^m·n) analysis of §3.3 talks about).
+func BenchmarkSaveSingle(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	det, err := disc.Detect(ds.Rel, cons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(det.Outliers) == 0 {
+		b.Skip("no outliers")
+	}
+	saver, err := disc.NewSaver(ds.Rel.Subset(det.Inliers), cons, disc.Options{Kappa: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	to := ds.Rel.Tuples[det.Outliers[0]]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saver.Save(to)
+	}
+}
+
+// BenchmarkExactSingle measures the §2.3 enumeration baseline on the same
+// workload (thinned domains).
+func BenchmarkExactSingle(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	det, err := disc.Detect(ds.Rel, cons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(det.Outliers) == 0 {
+		b.Skip("no outliers")
+	}
+	ex, err := disc.NewExactSaver(ds.Rel.Subset(det.Inliers), cons, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.Kappa = 2
+	to := ds.Rel.Tuples[det.Outliers[0]]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Save(to)
+	}
+}
+
+// BenchmarkDetect measures the violation-detection pass.
+func BenchmarkDetect(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Detect(ds.Rel, cons, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetermineParams measures the Poisson parameter determination at
+// the sampling rate Table 4 recommends.
+func BenchmarkDetermineParams(b *testing.B) {
+	ds, _ := ablationWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := disc.DetermineParams(ds.Rel, disc.ParamOptions{SampleRate: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

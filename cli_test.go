@@ -1,0 +1,133 @@
+package disc_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd binaries into a temp dir once per
+// test run.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI build")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIDatagenAndDisccliPipeline(t *testing.T) {
+	datagen := buildTool(t, "datagen")
+	disccli := buildTool(t, "disccli")
+
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "iris.csv")
+	fixed := filepath.Join(dir, "iris_fixed.csv")
+
+	// Generate a dataset.
+	var stdout, stderr bytes.Buffer
+	gen := exec.Command(datagen, "-dataset", "Iris", "-seed", "3")
+	gen.Stdout = &stdout
+	gen.Stderr = &stderr
+	if err := gen.Run(); err != nil {
+		t.Fatalf("datagen: %v\n%s", err, stderr.String())
+	}
+	if err := os.WriteFile(raw, stdout.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "Iris") {
+		t.Errorf("datagen banner missing: %s", stderr.String())
+	}
+
+	// Repair it with auto-determined parameters.
+	stderr.Reset()
+	fix := exec.Command(disccli, "-in", raw, "-out", fixed, "-report")
+	fix.Stderr = &stderr
+	if err := fix.Run(); err != nil {
+		t.Fatalf("disccli: %v\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	for _, want := range []string{"determined ε=", "outliers", "saved"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("disccli log missing %q:\n%s", want, log)
+		}
+	}
+
+	// The output parses and has the same shape.
+	in, err := os.Open(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	rawBytes, _ := os.ReadFile(raw)
+	fixedBytes, _ := os.ReadFile(fixed)
+	if lines := bytes.Count(rawBytes, []byte("\n")); lines != bytes.Count(fixedBytes, []byte("\n")) {
+		t.Error("repair changed the row count")
+	}
+	if bytes.Equal(rawBytes, fixedBytes) {
+		t.Error("repair changed nothing (no outliers saved?)")
+	}
+}
+
+func TestCLIDatagenStatsAndTruth(t *testing.T) {
+	datagen := buildTool(t, "datagen")
+
+	var stderr bytes.Buffer
+	stats := exec.Command(datagen, "-dataset", "GPS", "-scale", "0.05", "-stats")
+	stats.Stderr = &stderr
+	if err := stats.Run(); err != nil {
+		t.Fatalf("datagen -stats: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pairwise distance quantiles") {
+		t.Errorf("stats output missing quantiles:\n%s", stderr.String())
+	}
+
+	var stdout bytes.Buffer
+	truth := exec.Command(datagen, "-dataset", "Seeds", "-truth")
+	truth.Stdout = &stdout
+	if err := truth.Run(); err != nil {
+		t.Fatalf("datagen -truth: %v", err)
+	}
+	header := strings.SplitN(stdout.String(), "\n", 2)[0]
+	for _, col := range []string{"_class", "_dirty", "_natural"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("truth header missing %s: %s", col, header)
+		}
+	}
+}
+
+func TestCLIDiscbenchListAndRun(t *testing.T) {
+	discbench := buildTool(t, "discbench")
+
+	out, err := exec.Command(discbench, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table2", "fig4", "fig10", "ablation"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+
+	run, err := exec.Command(discbench, "-exp", "fig9", "-scale", "0.15", "-format", "csv").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(run), "# Fig 9(a)") || !strings.Contains(string(run), "dirty") {
+		t.Errorf("fig9 csv output wrong:\n%s", run)
+	}
+
+	// Unknown experiment fails cleanly.
+	if err := exec.Command(discbench, "-exp", "nope").Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

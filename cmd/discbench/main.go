@@ -1,0 +1,90 @@
+// Command discbench runs the experiments reproducing the tables and
+// figures of "On Saving Outliers for Better Clustering over Noisy Data"
+// (SIGMOD 2021) and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	discbench -list
+//	discbench -exp table2 [-scale 0.5] [-seed 1] [-v]
+//	discbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		id     = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
+		list   = flag.Bool("list", false, "list the available experiments")
+		scale  = flag.Float64("scale", 1, "multiply the per-experiment dataset scales (0 < scale ≤ ...)")
+		seed   = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		verb   = flag.Bool("v", false, "print progress while running")
+		plot   = flag.Bool("plot", false, "additionally render each table's numeric columns as ASCII charts")
+		format = flag.String("format", "text", "output format: text, csv or markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "discbench: -exp or -list required (try -list)")
+		os.Exit(2)
+	}
+
+	var runs []exp.Experiment
+	if *id == "all" {
+		runs = exp.All()
+	} else {
+		e, ok := exp.Find(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "discbench: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		runs = []exp.Experiment{e}
+	}
+
+	cfg := exp.Config{SizeScale: *scale, Seed: *seed}
+	if *verb {
+		cfg.Progress = os.Stderr
+	}
+	for _, e := range runs {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		switch *format {
+		case "csv":
+			for i := range res.Tables {
+				if err := res.Tables[i].FprintCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		case "markdown", "md":
+			for i := range res.Tables {
+				res.Tables[i].FprintMarkdown(os.Stdout)
+			}
+		default:
+			res.Fprint(os.Stdout)
+		}
+		if *plot {
+			for _, tb := range res.Tables {
+				viz.FprintChart(os.Stdout, "chart: "+tb.Title, tb.Header, tb.Rows, 32)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package disc
+
+import (
+	"repro/internal/classify"
+	"repro/internal/clean"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/match"
+)
+
+// Synthetic datasets reproducing Table 1 of the paper (see internal/data
+// and DESIGN.md §3 for the substitution rationale).
+var (
+	// Table1 instantiates a synthetic Table 1 dataset by name; sizeScale
+	// in (0, 1] shrinks the tuple count.
+	Table1 = data.Table1
+	// Table1Names lists the dataset names in paper order.
+	Table1Names = data.Table1Names
+	// GenMixture, GenGPS and GenRestaurant are the underlying generators.
+	GenMixture    = data.GenMixture
+	GenGPS        = data.GenGPS
+	GenRestaurant = data.GenRestaurant
+	// WriteDatasetJSON / ReadDatasetJSON persist a dataset together with
+	// its ground truth (labels, injected errors, clean originals).
+	WriteDatasetJSON = data.WriteDatasetJSON
+	ReadDatasetJSON  = data.ReadDatasetJSON
+)
+
+// Generator specs.
+type (
+	// MixtureSpec parameterizes the Gaussian-mixture generator.
+	MixtureSpec = data.MixtureSpec
+	// GPSSpec parameterizes the trajectory generator.
+	GPSSpec = data.GPSSpec
+	// RestaurantSpec parameterizes the textual record-linkage generator.
+	RestaurantSpec = data.RestaurantSpec
+)
+
+// Cleaner is the interface of the competitor cleaning methods.
+type Cleaner = clean.Cleaner
+
+// Competitor cleaners of §4.1.4 and §5 (see internal/clean).
+type (
+	// DORC is tuple-substitution cleaning (Song et al. 2015).
+	DORC = clean.DORC
+	// ERACER is regression-based statistical cleaning (Mayfield et al.).
+	ERACER = clean.ERACER
+	// Holistic is denial-constraint repair (Chu et al.).
+	Holistic = clean.Holistic
+	// HoloClean is statistical candidate-repair inference (Rekatsinas et
+	// al.).
+	HoloClean = clean.HoloClean
+	// SCARE is likelihood-maximizing repair with bounded changes (Yakout
+	// et al.).
+	SCARE = clean.SCARE
+)
+
+// Evaluation measures of §4.1 (see internal/eval).
+var (
+	// PairF1 is the pairwise clustering F1-score.
+	PairF1 = eval.F1
+	// Pairs returns the pairwise TP/FP/FN counts.
+	Pairs = eval.Pairs
+	// NMI is normalized mutual information.
+	NMI = eval.NMI
+	// ARI is the adjusted Rand index.
+	ARI = eval.ARI
+	// Purity, Homogeneity, Completeness and VMeasure are additional
+	// external clustering measures.
+	Purity       = eval.Purity
+	Homogeneity  = eval.Homogeneity
+	Completeness = eval.Completeness
+	VMeasure     = eval.VMeasure
+	// Jaccard compares attribute sets (§4.3).
+	Jaccard = eval.Jaccard
+	// MacroF1 scores a classification.
+	MacroF1 = eval.MacroF1
+)
+
+// Normalization helpers: set per-attribute distance scales so
+// heterogeneous columns contribute comparably (restorable).
+var (
+	ScaleByStdDev = data.ScaleByStdDev
+	ScaleByRange  = data.ScaleByRange
+	RestoreScales = data.RestoreScales
+	// ValidateValues rejects NaN/Inf numeric cells.
+	ValidateValues = data.ValidateValues
+	// Summarize / FprintSummary profile a relation's attributes;
+	// PairwiseDistanceQuantiles samples the distance distribution.
+	Summarize                 = data.Summarize
+	FprintSummary             = data.FprintSummary
+	PairwiseDistanceQuantiles = data.PairwiseDistanceQuantiles
+	// Silhouette is the internal (label-free) clustering quality score.
+	Silhouette = eval.Silhouette
+)
+
+// AttrSummary is one attribute's profile from Summarize.
+type AttrSummary = data.AttrSummary
+
+// Decision-tree classification (§4.1.2, see internal/classify).
+type (
+	// TreeConfig holds the CART hyperparameters.
+	TreeConfig = classify.TreeConfig
+	// Tree is a trained CART decision tree.
+	Tree = classify.Tree
+)
+
+var (
+	// TrainTree fits a CART tree.
+	TrainTree = classify.TrainTree
+	// CrossValidate runs k-fold cross-validation, returning macro F1.
+	CrossValidate = classify.CrossValidate
+)
+
+// Record matching (§4.1.3, see internal/match).
+type (
+	// MatchConfig tunes the rule-based matcher.
+	MatchConfig = match.Config
+	// MatchPair is a matched tuple-index pair.
+	MatchPair = match.Pair
+)
+
+var (
+	// Match returns all matched pairs of a relation.
+	Match = match.Match
+	// MatchScore computes precision/recall/F1 against duplicate labels.
+	MatchScore = match.Score
+)
+
+// Outlier explanation and the DB parameter baseline (§4.3, Table 4; see
+// internal/explain).
+type (
+	// SSEConfig tunes the subspace-separability explanation.
+	SSEConfig = explain.SSEConfig
+	// DBParamOptions tunes the Normal-distribution parameter baseline.
+	DBParamOptions = explain.DBParamOptions
+)
+
+var (
+	// SSE explains which attributes make a tuple outlying.
+	SSE = explain.SSE
+	// DBParams determines (ε, η) with the Normal-distribution method.
+	DBParams = explain.DBParams
+)

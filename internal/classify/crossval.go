@@ -1,0 +1,51 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+// CrossValidate runs k-fold cross-validation of the decision tree over the
+// relation and labels, returning the mean macro F1 across folds — the
+// 5-fold protocol of §4.1.2. Folds are shuffled deterministically by seed.
+func CrossValidate(rel *data.Relation, labels []int, folds int, cfg TreeConfig, seed int64) (float64, error) {
+	n := rel.N()
+	if n != len(labels) {
+		return 0, fmt.Errorf("classify: %d tuples but %d labels", n, len(labels))
+	}
+	if folds < 2 {
+		folds = 5
+	}
+	if n < folds {
+		return 0, fmt.Errorf("classify: %d tuples cannot fill %d folds", n, folds)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	sum := 0.0
+	for f := 0; f < folds; f++ {
+		lo := f * n / folds
+		hi := (f + 1) * n / folds
+		trainRel := data.NewRelation(rel.Schema)
+		var trainY []int
+		testRel := data.NewRelation(rel.Schema)
+		var testY []int
+		for p, i := range perm {
+			if p >= lo && p < hi {
+				testRel.Append(rel.Tuples[i])
+				testY = append(testY, labels[i])
+			} else {
+				trainRel.Append(rel.Tuples[i])
+				trainY = append(trainY, labels[i])
+			}
+		}
+		tree, err := TrainTree(trainRel, trainY, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pred := tree.PredictAll(testRel)
+		sum += eval.MacroF1(pred, testY)
+	}
+	return sum / float64(folds), nil
+}

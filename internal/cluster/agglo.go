@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// AggloConfig parameterizes single-link agglomerative clustering: merge
+// the closest pair of clusters until the merge distance exceeds CutDist
+// (equivalently, cut the minimum spanning tree at CutDist). With
+// CutDist = ε this is DBSCAN with minPts = 1 — another member of the
+// density family §5 surveys — and its sensitivity to single noisy points
+// is exactly the failure mode outlier saving removes.
+type AggloConfig struct {
+	// CutDist is the dendrogram cut: links longer than this never merge.
+	CutDist float64
+	// MinClusterSize relabels smaller final clusters as noise (-1);
+	// 1 keeps everything (default).
+	MinClusterSize int
+}
+
+// SingleLink clusters the relation by MST cutting (Kruskal over all
+// pairs, O(n² log n) distance computations).
+func SingleLink(rel *data.Relation, cfg AggloConfig) Result {
+	n := rel.N()
+	labels := make([]int, n)
+	if n == 0 {
+		return Result{Labels: labels}
+	}
+	if cfg.MinClusterSize < 1 {
+		cfg.MinClusterSize = 1
+	}
+	type edge struct {
+		i, j int
+		d    float64
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rel.Schema.Dist(rel.Tuples[i], rel.Tuples[j])
+			if d <= cfg.CutDist {
+				edges = append(edges, edge{i: i, j: j, d: d})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].d < edges[b].d })
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ri, rj := find(e.i), find(e.j)
+		if ri != rj {
+			parent[ri] = rj
+		}
+	}
+
+	// Canonical labels in first-appearance order.
+	next := 0
+	canon := map[int]int{}
+	sizes := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := canon[r]; !ok {
+			canon[r] = next
+			next++
+		}
+		labels[i] = canon[r]
+		sizes[labels[i]]++
+	}
+	if cfg.MinClusterSize > 1 {
+		for i, l := range labels {
+			if sizes[l] < cfg.MinClusterSize {
+				labels[i] = -1
+			}
+		}
+	}
+	return Result{Labels: labels, K: countClusters(labels)}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+func TestSingleLinkRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 60, 41)
+	res := SingleLink(rel, AggloConfig{CutDist: 3})
+	if res.K != 3 {
+		t.Fatalf("single-link found %d clusters, want 3", res.K)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.95 {
+		t.Errorf("single-link F1 = %v", f1)
+	}
+}
+
+func TestSingleLinkChainingSensitivity(t *testing.T) {
+	// The classic single-link failure: one bridge point merges two blobs
+	// — exactly the distortion a dirty outlier causes, and what saving
+	// it undoes.
+	rel, _ := blobs(t, 1, 40, 42)
+	for _, tp := range blobs2(40, 43, 12, 0) {
+		rel.Append(tp)
+	}
+	separated := SingleLink(rel, AggloConfig{CutDist: 4})
+	if separated.K != 2 {
+		t.Fatalf("blobs not separated: K=%d", separated.K)
+	}
+	for _, x := range []float64{3, 5, 7, 9} { // a chain of bridge points
+		rel.Append(tupleXY(x, 0))
+	}
+	bridged := SingleLink(rel, AggloConfig{CutDist: 4})
+	if bridged.K != 1 {
+		t.Errorf("bridge chain should merge the blobs: K=%d", bridged.K)
+	}
+}
+
+func TestSingleLinkMinClusterSize(t *testing.T) {
+	rel, _ := blobs(t, 2, 30, 44)
+	rel.Append(tupleXY(500, 500))
+	res := SingleLink(rel, AggloConfig{CutDist: 4, MinClusterSize: 3})
+	if res.Labels[rel.N()-1] != -1 {
+		t.Error("isolated point not noise under MinClusterSize")
+	}
+	if res.K != 2 {
+		t.Errorf("K = %d, want 2", res.K)
+	}
+}
+
+func TestSingleLinkEmpty(t *testing.T) {
+	rel := data.NewRelation(data.NewNumericSchema("x"))
+	res := SingleLink(rel, AggloConfig{CutDist: 1})
+	if len(res.Labels) != 0 || res.K != 0 {
+		t.Error("empty relation mishandled")
+	}
+}

@@ -1,0 +1,204 @@
+// Package cluster implements the clustering algorithms of the paper's
+// evaluation (§4.1.1): DBSCAN, K-Means (k-means++ seeding), K-Means--
+// (k clusters and l outliers, Chawla & Gionis), CCKM (auxiliary outlier
+// cluster, Rujeerapaiboon et al.), SREM (stability-region EM over Gaussian
+// mixtures, Reddy et al.) and KMC (coreset K-Means, Chen). Outlier saving
+// is complementary to all of them: the experiments run each algorithm over
+// raw and DISC-adjusted data.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// Result is a clustering: one label per tuple; -1 marks noise/outliers for
+// the algorithms that produce them.
+type Result struct {
+	Labels []int
+	// K is the number of (non-noise) clusters in Labels.
+	K int
+}
+
+// countClusters fills Result.K from the labels.
+func countClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// Matrix extracts the numeric attribute matrix of a relation, applying the
+// per-attribute scales so clustering sees the same geometry the distance
+// constraints use. It fails on textual attributes (the K-Means family is
+// numeric-only; DBSCAN works over any metric schema directly).
+func Matrix(rel *data.Relation) ([][]float64, error) {
+	m := rel.Schema.M()
+	for _, a := range rel.Schema.Attrs {
+		if a.Kind != data.Numeric {
+			return nil, fmt.Errorf("cluster: attribute %q is not numeric", a.Name)
+		}
+	}
+	out := make([][]float64, rel.N())
+	for i, t := range rel.Tuples {
+		row := make([]float64, m)
+		for a := 0; a < m; a++ {
+			v := t[a].Num
+			if s := rel.Schema.Attrs[a].Scale; s > 0 {
+				v /= s
+			}
+			row[a] = v
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeansPP seeds k centers with the k-means++ D² weighting over the
+// (optionally weighted) points.
+func kmeansPP(points [][]float64, weights []float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(points[i], centers[0])
+	}
+	for len(centers) < k {
+		total := 0.0
+		for i := range d2 {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			total += d2[i] * w
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i := range d2 {
+				w := 1.0
+				if weights != nil {
+					w = weights[i]
+				}
+				acc += d2[i] * w
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centers = append(centers, c)
+		for i := range d2 {
+			if d := sqDist(points[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// nearestCenter returns the index of and squared distance to the closest
+// center.
+func nearestCenter(p []float64, centers [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c := range centers {
+		if d := sqDist(p, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// lloyd runs weighted Lloyd iterations until assignment stability or
+// maxIter, reseeding empty clusters at the farthest point. It returns the
+// final assignment.
+func lloyd(points [][]float64, weights []float64, centers [][]float64, maxIter int, skip []bool) []int {
+	n := len(points)
+	dim := len(points[0])
+	k := len(centers)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range points {
+			if skip != nil && skip[i] {
+				continue
+			}
+			c, _ := nearestCenter(points[i], centers)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centers.
+		sums := make([][]float64, k)
+		cw := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i := range points {
+			if skip != nil && skip[i] {
+				continue
+			}
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			c := assign[i]
+			for a := 0; a < dim; a++ {
+				sums[c][a] += points[i][a] * w
+			}
+			cw[c] += w
+		}
+		for c := range centers {
+			if cw[c] == 0 {
+				// Reseed the empty cluster at the point farthest from its
+				// center.
+				far, farD := -1, -1.0
+				for i := range points {
+					if skip != nil && skip[i] {
+						continue
+					}
+					if _, d := nearestCenter(points[i], centers); d > farD {
+						far, farD = i, d
+					}
+				}
+				if far >= 0 {
+					copy(centers[c], points[far])
+				}
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				centers[c][a] = sums[c][a] / cw[c]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign
+}

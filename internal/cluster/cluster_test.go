@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+// blobs builds k well-separated Gaussian clusters of sz points each.
+func blobs(t *testing.T, k, sz int, seed int64) (*data.Relation, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rel := data.NewRelation(data.NewNumericSchema("x", "y"))
+	truth := make([]int, 0, k*sz)
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c)*20, float64(c%2)*20
+		for i := 0; i < sz; i++ {
+			rel.Append(data.Tuple{
+				data.Num(cx + rng.NormFloat64()),
+				data.Num(cy + rng.NormFloat64()),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return rel, truth
+}
+
+func TestDBSCANRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 80, 1)
+	res := DBSCAN(rel, DBSCANConfig{Eps: 2, MinPts: 4})
+	if res.K != 3 {
+		t.Fatalf("DBSCAN found %d clusters, want 3", res.K)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.95 {
+		t.Errorf("DBSCAN F1 = %v on separable blobs", f1)
+	}
+}
+
+func TestDBSCANMarksIsolatedNoise(t *testing.T) {
+	rel, _ := blobs(t, 2, 50, 2)
+	rel.Append(data.Tuple{data.Num(500), data.Num(500)})
+	res := DBSCAN(rel, DBSCANConfig{Eps: 2, MinPts: 4})
+	if res.Labels[rel.N()-1] != -1 {
+		t.Error("isolated point not marked noise")
+	}
+}
+
+func TestDBSCANSingleDenseCluster(t *testing.T) {
+	rel, _ := blobs(t, 1, 60, 3)
+	res := DBSCAN(rel, DBSCANConfig{Eps: 3, MinPts: 3})
+	if res.K != 1 {
+		t.Errorf("one blob produced %d clusters", res.K)
+	}
+}
+
+func TestDBSCANBorderPointsJoinClusters(t *testing.T) {
+	// A chain: dense core with a border point attached.
+	rel := data.NewRelation(data.NewNumericSchema("x"))
+	for i := 0; i < 10; i++ {
+		rel.Append(data.Tuple{data.Num(float64(i) * 0.1)})
+	}
+	rel.Append(data.Tuple{data.Num(1.5)}) // within eps of the last core point
+	res := DBSCAN(rel, DBSCANConfig{Eps: 0.7, MinPts: 3})
+	if res.Labels[rel.N()-1] == -1 {
+		t.Error("border point left as noise")
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 80, 4)
+	res, err := KMeans(rel, KMeansConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.95 {
+		t.Errorf("KMeans F1 = %v", f1)
+	}
+	if res.K != 3 {
+		t.Errorf("KMeans produced %d clusters", res.K)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rel, _ := blobs(t, 3, 50, 5)
+	a, _ := KMeans(rel, KMeansConfig{K: 3, Seed: 9})
+	b, _ := KMeans(rel, KMeansConfig{K: 3, Seed: 9})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("KMeans not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestKMeansMMDiscardsOutliers(t *testing.T) {
+	rel, truth := blobs(t, 2, 60, 6)
+	// Add 6 far outliers.
+	for i := 0; i < 6; i++ {
+		rel.Append(data.Tuple{data.Num(1000 + float64(i)*50), data.Num(-900)})
+		truth = append(truth, -1)
+	}
+	res, err := KMeansMM(rel, KMeansConfig{K: 2, L: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected outliers should be among the discarded (-1) points.
+	discarded := 0
+	for i := rel.N() - 6; i < rel.N(); i++ {
+		if res.Labels[i] == -1 {
+			discarded++
+		}
+	}
+	if discarded < 5 {
+		t.Errorf("only %d/6 injected outliers discarded", discarded)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.9 {
+		t.Errorf("KMeans-- F1 = %v", f1)
+	}
+}
+
+func TestCCKMAssignsOutlierCluster(t *testing.T) {
+	rel, truth := blobs(t, 2, 60, 7)
+	for i := 0; i < 5; i++ {
+		rel.Append(data.Tuple{data.Num(800), data.Num(800 + float64(i)*100)})
+		truth = append(truth, -1)
+	}
+	res, err := CCKM(rel, KMeansConfig{K: 2, L: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.85 {
+		t.Errorf("CCKM F1 = %v", f1)
+	}
+	out := 0
+	for _, l := range res.Labels {
+		if l == -1 {
+			out++
+		}
+	}
+	if out != 5 {
+		t.Errorf("CCKM outlier cluster size %d, want 5", out)
+	}
+}
+
+func TestSREMRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 80, 8)
+	res, err := SREM(rel, SREMConfig{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.9 {
+		t.Errorf("SREM F1 = %v", f1)
+	}
+}
+
+func TestKMCRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 100, 9)
+	res, err := KMC(rel, KMCConfig{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.9 {
+		t.Errorf("KMC F1 = %v", f1)
+	}
+}
+
+func TestKMeansFamilyRejectsTextSchemas(t *testing.T) {
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "w", Kind: data.Text}}}
+	rel := data.NewRelation(s)
+	rel.Append(data.Tuple{data.Str("x")})
+	if _, err := KMeans(rel, KMeansConfig{K: 1}); err == nil {
+		t.Error("KMeans accepted text schema")
+	}
+	if _, err := KMeansMM(rel, KMeansConfig{K: 1}); err == nil {
+		t.Error("KMeansMM accepted text schema")
+	}
+	if _, err := CCKM(rel, KMeansConfig{K: 1}); err == nil {
+		t.Error("CCKM accepted text schema")
+	}
+	if _, err := SREM(rel, SREMConfig{K: 1}); err == nil {
+		t.Error("SREM accepted text schema")
+	}
+	if _, err := KMC(rel, KMCConfig{K: 1}); err == nil {
+		t.Error("KMC accepted text schema")
+	}
+}
+
+func TestKGreaterThanNClamps(t *testing.T) {
+	rel, _ := blobs(t, 1, 5, 10)
+	res, err := KMeans(rel, KMeansConfig{K: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 5 {
+		t.Errorf("labels length %d", len(res.Labels))
+	}
+}
+
+func TestMatrixAppliesScale(t *testing.T) {
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "t", Kind: data.Numeric, Scale: 10}}}
+	rel := data.NewRelation(s)
+	rel.Append(data.Tuple{data.Num(100)})
+	m, err := Matrix(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 10 {
+		t.Errorf("scaled value = %v, want 10", m[0][0])
+	}
+}
+
+func TestDBSCANOverTextMetric(t *testing.T) {
+	// DBSCAN must work on edit-distance schemas (Restaurant dataset).
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "w", Kind: data.Text}}}
+	rel := data.NewRelation(s)
+	group1 := []string{"apple", "apples", "appl", "aple"}
+	group2 := []string{"orange", "oranges", "orang", "orenge"}
+	for _, w := range append(group1, group2...) {
+		rel.Append(data.Tuple{data.Str(w)})
+	}
+	res := DBSCAN(rel, DBSCANConfig{Eps: 2, MinPts: 2})
+	if res.K != 2 {
+		t.Fatalf("text DBSCAN found %d clusters, want 2", res.K)
+	}
+	if res.Labels[0] == res.Labels[4] {
+		t.Error("apple and orange groups merged")
+	}
+}
+
+// tupleXY builds a 2D tuple (test helper shared with the OPTICS tests).
+func tupleXY(x, y float64) data.Tuple {
+	return data.Tuple{data.Num(x), data.Num(y)}
+}
+
+// blobs2 returns sz tuples of one Gaussian blob at (cx, cy).
+func blobs2(sz int, seed int64, cx, cy float64) []data.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]data.Tuple, 0, sz)
+	for i := 0; i < sz; i++ {
+		out = append(out, tupleXY(cx+rng.NormFloat64(), cy+rng.NormFloat64()))
+	}
+	return out
+}

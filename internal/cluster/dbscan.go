@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"repro/internal/data"
+	"repro/internal/neighbors"
+)
+
+// DBSCANConfig parameterizes DBSCAN (Ester et al. [21]).
+type DBSCANConfig struct {
+	// Eps is the neighborhood radius.
+	Eps float64
+	// MinPts is the minimum number of ε-neighbors (self excluded, matching
+	// the η convention of the distance constraints) for a core point.
+	MinPts int
+	// Index optionally supplies a prebuilt neighbor index over the
+	// relation.
+	Index neighbors.Index
+}
+
+// DBSCAN clusters the relation: density-reachable points join their core
+// point's cluster; everything else is noise (-1). It works over any metric
+// schema, including textual attributes.
+func DBSCAN(rel *data.Relation, cfg DBSCANConfig) Result {
+	n := rel.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	idx := cfg.Index
+	if idx == nil {
+		idx = neighbors.Build(rel, cfg.Eps)
+	}
+	cluster := 0
+	queue := make([]int, 0, 64)
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		nbs := idx.Within(rel.Tuples[i], cfg.Eps, i)
+		if len(nbs) < cfg.MinPts {
+			labels[i] = -1 // noise (may be upgraded to border later)
+			continue
+		}
+		labels[i] = cluster
+		queue = queue[:0]
+		for _, nb := range nbs {
+			queue = append(queue, nb.Idx)
+		}
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == -1 {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = cluster
+			jn := idx.Within(rel.Tuples[j], cfg.Eps, j)
+			if len(jn) >= cfg.MinPts {
+				for _, nb := range jn {
+					if labels[nb.Idx] == -2 || labels[nb.Idx] == -1 {
+						queue = append(queue, nb.Idx)
+					}
+				}
+			}
+		}
+		cluster++
+	}
+	return Result{Labels: labels, K: cluster}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// KMCConfig parameterizes coreset K-Means (Chen [14], simplified): build a
+// small weighted coreset by D²-importance sampling against a rough
+// k-means++ solution, run weighted Lloyd on the coreset, then assign every
+// point to its nearest coreset center.
+type KMCConfig struct {
+	K int
+	// CoresetSize is the number of sampled points (default 10·K·log n,
+	// capped at n).
+	CoresetSize int
+	MaxIter     int
+	Seed        int64
+}
+
+// KMC clusters the relation through a coreset.
+func KMC(rel *data.Relation, cfg KMCConfig) (Result, error) {
+	points, err := Matrix(rel)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(points)
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.K > n {
+		cfg.K = n
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.CoresetSize <= 0 {
+		cfg.CoresetSize = 10 * cfg.K * intLog2(n)
+	}
+	if cfg.CoresetSize > n {
+		cfg.CoresetSize = n
+	}
+	if cfg.CoresetSize < cfg.K {
+		cfg.CoresetSize = cfg.K
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Rough solution for the sensitivity scores.
+	rough := kmeansPP(points, nil, cfg.K, rng)
+	d2 := make([]float64, n)
+	total := 0.0
+	for i := range points {
+		_, d := nearestCenter(points[i], rough)
+		d2[i] = d + 1e-12
+		total += d2[i]
+	}
+
+	// Importance sampling with weights ∝ 1/probability so the coreset is
+	// an unbiased estimator of the clustering cost.
+	sampleIdx := make([]int, cfg.CoresetSize)
+	weights := make([]float64, cfg.CoresetSize)
+	for s := 0; s < cfg.CoresetSize; s++ {
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i := range d2 {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		sampleIdx[s] = pick
+		prob := d2[pick] / total
+		weights[s] = 1 / (prob * float64(cfg.CoresetSize))
+	}
+	coreset := make([][]float64, cfg.CoresetSize)
+	for s, i := range sampleIdx {
+		coreset[s] = points[i]
+	}
+
+	var centers [][]float64
+	bestSSE := math.Inf(1)
+	for restart := 0; restart < 5; restart++ {
+		cand := kmeansPP(coreset, weights, cfg.K, rng)
+		lloyd(coreset, weights, cand, cfg.MaxIter, nil)
+		sse := 0.0
+		for s, p := range coreset {
+			_, d := nearestCenter(p, cand)
+			sse += d * weights[s]
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			centers = cand
+		}
+	}
+
+	labels := make([]int, n)
+	for i := range points {
+		labels[i], _ = nearestCenter(points[i], centers)
+	}
+	return Result{Labels: labels, K: countClusters(labels)}, nil
+}
+
+func intLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

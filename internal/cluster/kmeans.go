@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// KMeansConfig parameterizes the K-Means family.
+type KMeansConfig struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations (default 100).
+	MaxIter int
+	// Seed drives k-means++ seeding.
+	Seed int64
+	// L is the number of outliers for KMeansMM and CCKM (ignored by
+	// KMeans); 0 derives 5% of n.
+	L int
+	// Restarts is the number of k-means++ re-seedings for KMeans
+	// (best SSE wins); 0 means 5.
+	Restarts int
+}
+
+func (c *KMeansConfig) defaults(n int) {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.K < 1 {
+		c.K = 1
+	}
+	if c.K > n {
+		c.K = n
+	}
+	if c.L <= 0 {
+		c.L = n / 20
+	}
+	if c.L >= n {
+		c.L = n - 1
+	}
+}
+
+// KMeans is Lloyd's algorithm with k-means++ seeding (Jin & Han [26]),
+// restarted Restarts times with the lowest within-cluster SSE kept
+// (scikit-learn's n_init behaviour).
+func KMeans(rel *data.Relation, cfg KMeansConfig) (Result, error) {
+	points, err := Matrix(rel)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.defaults(len(points))
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 5
+	}
+	var bestLabels []int
+	bestSSE := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
+		centers := kmeansPP(points, nil, cfg.K, rng)
+		labels := lloyd(points, nil, centers, cfg.MaxIter, nil)
+		sse := 0.0
+		for i := range points {
+			sse += sqDist(points[i], centers[labels[i]])
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			bestLabels = labels
+		}
+	}
+	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, nil
+}
+
+// KMeansMM is K-Means-- (Chawla & Gionis [13]): each Lloyd iteration drops
+// the L points farthest from their nearest center before updating the
+// centers; the dropped points end up labeled -1.
+func KMeansMM(rel *data.Relation, cfg KMeansConfig) (Result, error) {
+	points, err := Matrix(rel)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.defaults(len(points))
+	n := len(points)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type dcand struct {
+		i int
+		d float64
+	}
+	// Pre-trim before seeding: k-means++'s D² weighting loves isolated
+	// points, and a center seeded on an outlier has distance 0 to itself
+	// and never gets trimmed. Seed only from the points closest to the
+	// global centroid (dropping the 2L farthest).
+	dim := len(points[0])
+	centroid := make([]float64, dim)
+	for _, p := range points {
+		for a := 0; a < dim; a++ {
+			centroid[a] += p[a]
+		}
+	}
+	for a := 0; a < dim; a++ {
+		centroid[a] /= float64(n)
+	}
+	pre := make([]dcand, n)
+	for i := range points {
+		pre[i] = dcand{i: i, d: sqDist(points[i], centroid)}
+	}
+	sort.Slice(pre, func(a, b int) bool { return pre[a].d > pre[b].d })
+	drop := 2 * cfg.L
+	if drop > n-cfg.K {
+		drop = n - cfg.K
+	}
+	kept := make([][]float64, 0, n-drop)
+	for _, c := range pre[drop:] {
+		kept = append(kept, points[c.i])
+	}
+	centers := kmeansPP(kept, nil, cfg.K, rng)
+	skip := make([]bool, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Rank all points by distance to their nearest center; the top L
+		// sit out this round.
+		ds := make([]dcand, n)
+		for i := range points {
+			_, d := nearestCenter(points[i], centers)
+			ds[i] = dcand{i: i, d: d}
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+		for i := range skip {
+			skip[i] = false
+		}
+		for _, c := range ds[:cfg.L] {
+			skip[c.i] = true
+		}
+		prev := make([][]float64, len(centers))
+		for c := range centers {
+			prev[c] = append([]float64(nil), centers[c]...)
+		}
+		lloydOnce(points, centers, skip)
+		if centersEqual(prev, centers) {
+			break
+		}
+	}
+	labels := make([]int, n)
+	ds := make([]dcand, n)
+	for i := range points {
+		c, d := nearestCenter(points[i], centers)
+		labels[i] = c
+		ds[i] = dcand{i: i, d: d}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	for _, c := range ds[:cfg.L] {
+		labels[c.i] = -1
+	}
+	return Result{Labels: labels, K: countClusters(labels)}, nil
+}
+
+// lloydOnce runs a single assignment + update step over the non-skipped
+// points.
+func lloydOnce(points [][]float64, centers [][]float64, skip []bool) {
+	dim := len(points[0])
+	sums := make([][]float64, len(centers))
+	cw := make([]float64, len(centers))
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i := range points {
+		if skip != nil && skip[i] {
+			continue
+		}
+		c, _ := nearestCenter(points[i], centers)
+		for a := 0; a < dim; a++ {
+			sums[c][a] += points[i][a]
+		}
+		cw[c]++
+	}
+	for c := range centers {
+		if cw[c] == 0 {
+			// A center whose points were all trimmed as outliers would
+			// never move again; reseed it at the surviving point farthest
+			// from its nearest center.
+			far, farD := -1, -1.0
+			for i := range points {
+				if skip != nil && skip[i] {
+					continue
+				}
+				if _, d := nearestCenter(points[i], centers); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far >= 0 {
+				copy(centers[c], points[far])
+			}
+			continue
+		}
+		for a := 0; a < dim; a++ {
+			centers[c][a] = sums[c][a] / cw[c]
+		}
+	}
+}
+
+func centersEqual(a, b [][]float64) bool {
+	for c := range a {
+		for x := range a[c] {
+			if a[c][x] != b[c][x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CCKM is the cardinality-constrained clustering with an auxiliary outlier
+// cluster (Rujeerapaiboon et al. [43], simplified): Lloyd iterations in
+// which at most L points whose distance to every center exceeds an
+// adaptive threshold move to the outlier cluster, and cluster sizes are
+// softly balanced by assigning points in distance order with a per-cluster
+// capacity of ⌈(n−L)/K·slack⌉.
+func CCKM(rel *data.Relation, cfg KMeansConfig) (Result, error) {
+	points, err := Matrix(rel)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.defaults(len(points))
+	n := len(points)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := kmeansPP(points, nil, cfg.K, rng)
+	labels := make([]int, n)
+	const slack = 1.5
+	capacity := int(float64(n-cfg.L)/float64(cfg.K)*slack) + 1
+
+	type acand struct {
+		i, c int
+		d    float64
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Assign in ascending distance order under capacities; the L worst
+		// leftovers become outliers.
+		cands := make([]acand, n)
+		for i := range points {
+			c, d := nearestCenter(points[i], centers)
+			cands[i] = acand{i: i, c: c, d: d}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		sizes := make([]int, cfg.K)
+		for i := range labels {
+			labels[i] = -1
+		}
+		assigned := 0
+		for _, ca := range cands {
+			if assigned >= n-cfg.L {
+				break
+			}
+			c := ca.c
+			if sizes[c] >= capacity {
+				// Spill to the nearest center with room.
+				bestC, bestD := -1, 0.0
+				for cc := range centers {
+					if sizes[cc] >= capacity {
+						continue
+					}
+					d := sqDist(points[ca.i], centers[cc])
+					if bestC < 0 || d < bestD {
+						bestC, bestD = cc, d
+					}
+				}
+				if bestC < 0 {
+					continue
+				}
+				c = bestC
+			}
+			labels[ca.i] = c
+			sizes[c]++
+			assigned++
+		}
+		prev := make([][]float64, len(centers))
+		for c := range centers {
+			prev[c] = append([]float64(nil), centers[c]...)
+		}
+		// Update centers from assigned points.
+		dim := len(points[0])
+		sums := make([][]float64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		cw := make([]float64, cfg.K)
+		for i, l := range labels {
+			if l < 0 {
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				sums[l][a] += points[i][a]
+			}
+			cw[l]++
+		}
+		for c := range centers {
+			if cw[c] == 0 {
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				centers[c][a] = sums[c][a] / cw[c]
+			}
+		}
+		if centersEqual(prev, centers) {
+			break
+		}
+	}
+	return Result{Labels: labels, K: countClusters(labels)}, nil
+}

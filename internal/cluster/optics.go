@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/neighbors"
+)
+
+// OPTICSConfig parameterizes OPTICS (Ankerst et al. [10], the
+// density-based variation §5 cites alongside DBSCAN): points are ordered
+// by reachability distance, and clusters are extracted by thresholding the
+// reachability plot.
+type OPTICSConfig struct {
+	// Eps bounds the neighborhoods considered (the OPTICS "generating
+	// distance").
+	Eps float64
+	// MinPts is the core-point neighbor minimum (self excluded, matching
+	// the η convention).
+	MinPts int
+	// ExtractEps is the reachability threshold for cluster extraction;
+	// 0 uses Eps (recovering a DBSCAN-equivalent clustering).
+	ExtractEps float64
+	// Index optionally supplies a prebuilt neighbor index.
+	Index neighbors.Index
+}
+
+// OPTICSResult is the cluster ordering plus the extracted clustering.
+type OPTICSResult struct {
+	// Order is the OPTICS processing order of tuple indexes.
+	Order []int
+	// Reachability[i] is the reachability distance of tuple i (+Inf for
+	// the first point of each density-connected component).
+	Reachability []float64
+	// Result is the clustering extracted at ExtractEps.
+	Result
+}
+
+// opticsItem is a heap entry: a point with its current reachability.
+type opticsItem struct {
+	idx   int
+	reach float64
+}
+
+type opticsHeap []opticsItem
+
+func (h opticsHeap) Len() int           { return len(h) }
+func (h opticsHeap) Less(i, j int) bool { return h[i].reach < h[j].reach }
+func (h opticsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *opticsHeap) Push(x any)        { *h = append(*h, x.(opticsItem)) }
+func (h *opticsHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// OPTICS orders the relation by density reachability and extracts a flat
+// clustering at ExtractEps.
+func OPTICS(rel *data.Relation, cfg OPTICSConfig) OPTICSResult {
+	n := rel.N()
+	idx := cfg.Index
+	if idx == nil {
+		idx = neighbors.Build(rel, cfg.Eps)
+	}
+	extract := cfg.ExtractEps
+	if extract <= 0 {
+		extract = cfg.Eps
+	}
+
+	reach := make([]float64, n)
+	processed := make([]bool, n)
+	order := make([]int, 0, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+
+	// coreDist returns the MinPts-th neighbor distance of i, or +Inf when
+	// i is not a core point within Eps.
+	coreDist := func(i int, nbs []neighbors.Neighbor) float64 {
+		if len(nbs) < cfg.MinPts {
+			return math.Inf(1)
+		}
+		ds := make([]float64, len(nbs))
+		for k, nb := range nbs {
+			ds[k] = nb.Dist
+		}
+		sort.Float64s(ds)
+		return ds[cfg.MinPts-1]
+	}
+
+	update := func(i int, nbs []neighbors.Neighbor, h *opticsHeap) {
+		cd := coreDist(i, nbs)
+		if math.IsInf(cd, 1) {
+			return
+		}
+		for _, nb := range nbs {
+			if processed[nb.Idx] {
+				continue
+			}
+			newReach := math.Max(cd, nb.Dist)
+			if newReach < reach[nb.Idx] {
+				reach[nb.Idx] = newReach
+				heap.Push(h, opticsItem{idx: nb.Idx, reach: newReach})
+			}
+		}
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		order = append(order, start)
+		nbs := idx.Within(rel.Tuples[start], cfg.Eps, start)
+		h := &opticsHeap{}
+		update(start, nbs, h)
+		for h.Len() > 0 {
+			it := heap.Pop(h).(opticsItem)
+			if processed[it.idx] {
+				continue // stale entry (lazy decrease-key)
+			}
+			processed[it.idx] = true
+			order = append(order, it.idx)
+			nb2 := idx.Within(rel.Tuples[it.idx], cfg.Eps, it.idx)
+			update(it.idx, nb2, h)
+		}
+	}
+
+	// Flat extraction: walking the order, a reachability jump above the
+	// threshold starts a new cluster if the point is core at the
+	// threshold; otherwise the point is noise.
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	cluster := -1
+	for _, i := range order {
+		if reach[i] > extract {
+			// Core at the extraction radius? Then it seeds a cluster.
+			if idx.CountWithin(rel.Tuples[i], extract, i, cfg.MinPts) >= cfg.MinPts {
+				cluster++
+				labels[i] = cluster
+			} else {
+				labels[i] = -1
+			}
+			continue
+		}
+		if cluster < 0 {
+			cluster = 0
+		}
+		labels[i] = cluster
+	}
+	return OPTICSResult{
+		Order:        order,
+		Reachability: reach,
+		Result:       Result{Labels: labels, K: countClusters(labels)},
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestOPTICSRecoversBlobs(t *testing.T) {
+	rel, truth := blobs(t, 3, 80, 21)
+	res := OPTICS(rel, OPTICSConfig{Eps: 2.5, MinPts: 4})
+	if res.K != 3 {
+		t.Fatalf("OPTICS found %d clusters, want 3", res.K)
+	}
+	if f1 := eval.F1(res.Labels, truth); f1 < 0.95 {
+		t.Errorf("OPTICS F1 = %v", f1)
+	}
+}
+
+func TestOPTICSMatchesDBSCANAtSameRadius(t *testing.T) {
+	// Extracting at the generating distance yields a DBSCAN-equivalent
+	// clustering (same pairwise structure up to border-point ties).
+	rel, truth := blobs(t, 2, 70, 22)
+	rel.Append(tupleXY(500, 500))
+	truth = append(truth, -1)
+	op := OPTICS(rel, OPTICSConfig{Eps: 2, MinPts: 4})
+	db := DBSCAN(rel, DBSCANConfig{Eps: 2, MinPts: 4})
+	of1 := eval.F1(op.Labels, truth)
+	df1 := eval.F1(db.Labels, truth)
+	if math.Abs(of1-df1) > 0.05 {
+		t.Errorf("OPTICS F1 %v vs DBSCAN %v", of1, df1)
+	}
+	if op.Labels[rel.N()-1] != -1 {
+		t.Error("isolated point not noise in OPTICS")
+	}
+}
+
+func TestOPTICSOrderAndReachability(t *testing.T) {
+	rel, _ := blobs(t, 2, 50, 23)
+	res := OPTICS(rel, OPTICSConfig{Eps: 2.5, MinPts: 3})
+	if len(res.Order) != rel.N() {
+		t.Fatalf("order covers %d of %d points", len(res.Order), rel.N())
+	}
+	seen := make([]bool, rel.N())
+	for _, i := range res.Order {
+		if seen[i] {
+			t.Fatalf("point %d ordered twice", i)
+		}
+		seen[i] = true
+	}
+	// Exactly the component-starting points have infinite reachability,
+	// and there are at least as many as clusters.
+	infs := 0
+	for _, r := range res.Reachability {
+		if math.IsInf(r, 1) {
+			infs++
+		}
+	}
+	if infs < res.K {
+		t.Errorf("%d infinite-reachability points for %d clusters", infs, res.K)
+	}
+	// Within-cluster reachability stays below the generating distance.
+	for _, i := range res.Order {
+		if res.Labels[i] >= 0 && !math.IsInf(res.Reachability[i], 1) && res.Reachability[i] > 2.5 {
+			t.Fatalf("clustered point %d has reachability %v > ε", i, res.Reachability[i])
+		}
+	}
+}
+
+func TestOPTICSTighterExtraction(t *testing.T) {
+	// Two sub-blobs bridged by a sparse chain: extraction at a smaller
+	// radius separates them while the full radius merges them.
+	rel, _ := blobs(t, 1, 60, 24)
+	for _, t2 := range blobs2(60, 25, 8, 0) {
+		rel.Append(t2)
+	}
+	// Sparse bridge.
+	for i := 0; i < 5; i++ {
+		rel.Append(tupleXY(1.5+float64(i)*1.3, 0))
+	}
+	merged := OPTICS(rel, OPTICSConfig{Eps: 2.0, MinPts: 3})
+	split := OPTICS(rel, OPTICSConfig{Eps: 2.0, MinPts: 3, ExtractEps: 0.9})
+	if split.K < merged.K {
+		t.Errorf("tighter extraction produced fewer clusters (%d vs %d)", split.K, merged.K)
+	}
+}

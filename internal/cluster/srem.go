@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// SREMConfig parameterizes the stability-region EM clustering (Reddy et
+// al. [40], simplified): EM over a diagonal-covariance Gaussian mixture,
+// restarted from several seeds, keeping the solution with the best
+// log-likelihood — the restart mechanism stands in for the stability-region
+// analysis that reduces sensitivity to the initial points.
+type SREMConfig struct {
+	K        int
+	MaxIter  int
+	Restarts int
+	Seed     int64
+}
+
+// SREM clusters the relation by maximum-responsibility assignment of the
+// best mixture found.
+func SREM(rel *data.Relation, cfg SREMConfig) (Result, error) {
+	points, err := Matrix(rel)
+	if err != nil {
+		return Result{}, err
+	}
+	n := len(points)
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.K > n {
+		cfg.K = n
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	bestLL := math.Inf(-1)
+	var bestLabels []int
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
+		labels, ll := emRun(points, cfg.K, cfg.MaxIter, rng)
+		if ll > bestLL {
+			bestLL = ll
+			bestLabels = labels
+		}
+	}
+	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, nil
+}
+
+// emRun fits one diagonal GMM by EM and returns MAP labels and the final
+// log-likelihood.
+func emRun(points [][]float64, k, maxIter int, rng *rand.Rand) ([]int, float64) {
+	n := len(points)
+	dim := len(points[0])
+
+	mu := kmeansPP(points, nil, k, rng)
+	sigma2 := make([][]float64, k)
+	pi := make([]float64, k)
+	// Initialize variances from the global spread.
+	globalVar := make([]float64, dim)
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for a := 0; a < dim; a++ {
+			mean[a] += p[a]
+		}
+	}
+	for a := 0; a < dim; a++ {
+		mean[a] /= float64(n)
+	}
+	for _, p := range points {
+		for a := 0; a < dim; a++ {
+			d := p[a] - mean[a]
+			globalVar[a] += d * d
+		}
+	}
+	for a := 0; a < dim; a++ {
+		globalVar[a] = globalVar[a]/float64(n) + 1e-6
+	}
+	for c := 0; c < k; c++ {
+		sigma2[c] = append([]float64(nil), globalVar...)
+		pi[c] = 1 / float64(k)
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	ll := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E step in log space.
+		newLL := 0.0
+		for i, p := range points {
+			maxLog := math.Inf(-1)
+			logs := resp[i]
+			for c := 0; c < k; c++ {
+				lp := math.Log(pi[c] + 1e-300)
+				for a := 0; a < dim; a++ {
+					d := p[a] - mu[c][a]
+					lp += -0.5*math.Log(2*math.Pi*sigma2[c][a]) - d*d/(2*sigma2[c][a])
+				}
+				logs[c] = lp
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				logs[c] = math.Exp(logs[c] - maxLog)
+				sum += logs[c]
+			}
+			for c := 0; c < k; c++ {
+				logs[c] /= sum
+			}
+			newLL += maxLog + math.Log(sum)
+		}
+		// M step.
+		for c := 0; c < k; c++ {
+			nc := 0.0
+			for i := range points {
+				nc += resp[i][c]
+			}
+			if nc < 1e-9 {
+				// Reseed the dead component at a random point.
+				copy(mu[c], points[rng.Intn(n)])
+				copy(sigma2[c], globalVar)
+				pi[c] = 1e-6
+				continue
+			}
+			pi[c] = nc / float64(n)
+			for a := 0; a < dim; a++ {
+				s := 0.0
+				for i := range points {
+					s += resp[i][c] * points[i][a]
+				}
+				mu[c][a] = s / nc
+			}
+			for a := 0; a < dim; a++ {
+				s := 0.0
+				for i := range points {
+					d := points[i][a] - mu[c][a]
+					s += resp[i][c] * d * d
+				}
+				sigma2[c][a] = s/nc + 1e-6
+			}
+		}
+		if newLL-ll < 1e-6 && iter > 0 {
+			ll = newLL
+			break
+		}
+		ll = newLL
+	}
+	labels := make([]int, n)
+	for i := range points {
+		best, bestR := 0, -1.0
+		for c := 0; c < k; c++ {
+			if resp[i][c] > bestR {
+				best, bestR = c, resp[i][c]
+			}
+		}
+		labels[i] = best
+	}
+	return labels, ll
+}

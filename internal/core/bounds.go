@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/neighbors"
+)
+
+// Bounds exposes the Proposition 3 / Proposition 5 bound computations for
+// a single outlier and unadjusted-attribute set X — the quantities
+// Algorithm 1 uses internally, published for verification, teaching and
+// diagnostics (Figure 3 of the paper).
+type Bounds struct {
+	// Lower is the Proposition 3 lower bound on the cost of any feasible
+	// adjustment with t''[X] = t_o[X]: Δ(t_o, t_1) − ε with t_1 the η-th
+	// nearest neighbor of t_o within r_ε(t_o[X]). +Inf when fewer than η
+	// tuples lie within ε on X (no such adjustment exists).
+	Lower float64
+	// Upper is the Proposition 5 upper bound: the cost of the composite
+	// t_o[X] ⊕ t_2[R\X] for the best donor t_2; +Inf when no donor
+	// satisfies δ_η(t_2) ≤ ε − Δ(t_o[X], t_2[X]).
+	Upper float64
+	// Witness is the composite upper-bound adjustment (nil when Upper is
+	// +Inf). It is always feasible.
+	Witness data.Tuple
+}
+
+// ComputeBounds evaluates the bounds of the optimal adjustment of outlier
+// to with unadjusted attributes x against the outlier-free relation r.
+// It is a reference implementation (brute-force scans); Algorithm 1
+// reuses distances across the recursion instead.
+func ComputeBounds(r *data.Relation, cons Constraints, to data.Tuple, x data.AttrMask) (Bounds, error) {
+	if err := cons.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	b := Bounds{Lower: math.Inf(1), Upper: math.Inf(1)}
+	sch := r.Schema
+	idx := neighbors.NewBrute(r)
+
+	// Candidates: r_ε(t_o[X]).
+	type cand struct {
+		i         int
+		dx, dfull float64
+	}
+	var cands []cand
+	for i, t := range r.Tuples {
+		dx := sch.DistOn(to, t, x)
+		if dx > cons.Eps {
+			continue
+		}
+		cands = append(cands, cand{i: i, dx: dx, dfull: sch.Dist(to, t)})
+	}
+	if len(cands) < cons.Eta {
+		return b, nil // Lower stays +Inf: infeasible with this X
+	}
+
+	// Proposition 3: η-th smallest full-space distance.
+	full := make([]float64, len(cands))
+	for k, c := range cands {
+		full[k] = c.dfull
+	}
+	kth := quickselect(full, cons.Eta-1)
+	b.Lower = kth - cons.Eps
+	if b.Lower < 0 {
+		b.Lower = 0
+	}
+
+	// Proposition 5: best donor with δ_η(t_2) ≤ ε − Δ_X.
+	compl := x.Complement(sch.M())
+	for _, c := range cands {
+		t2 := r.Tuples[c.i]
+		etaRadius := math.Inf(1)
+		nn := idx.KNN(t2, cons.Eta, c.i)
+		if len(nn) >= cons.Eta {
+			etaRadius = nn[cons.Eta-1].Dist
+		}
+		if etaRadius > cons.Eps-c.dx {
+			continue
+		}
+		cost := sch.DistOn(to, t2, compl)
+		if cost < b.Upper {
+			b.Upper = cost
+			b.Witness = data.Compose(to, t2, x)
+		}
+	}
+	return b, nil
+}

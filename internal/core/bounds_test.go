@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metric"
+	"repro/internal/neighbors"
+)
+
+// bruteOptimal finds the true optimal adjustment of to with unadjusted x
+// by enumerating all value combinations from the observed domains on the
+// adjustable attributes (exponential; test sizes only).
+func bruteOptimal(r *data.Relation, cons Constraints, to data.Tuple, x data.AttrMask) (data.Tuple, float64) {
+	sch := r.Schema
+	m := sch.M()
+	doms := data.Domain(r)
+	idx := neighbors.NewBrute(r)
+	adj := x.Complement(m).Attrs(m)
+	best := math.Inf(1)
+	var bestT data.Tuple
+	cur := to.Clone()
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(adj) {
+			if idx.CountWithin(cur, cons.Eps, -1, cons.Eta) >= cons.Eta {
+				if c := sch.Dist(to, cur); c < best {
+					best = c
+					bestT = cur.Clone()
+				}
+			}
+			return
+		}
+		a := adj[k]
+		for _, v := range append([]data.Value{to[a]}, doms[a]...) {
+			cur[a] = v
+			rec(k + 1)
+		}
+		cur[a] = to[a]
+	}
+	rec(0)
+	return bestT, best
+}
+
+func TestComputeBoundsSandwichTheOptimum(t *testing.T) {
+	// Propositions 3 and 5 verified against brute-force enumeration on
+	// random small instances: Lower ≤ optimal ≤ Upper whenever the
+	// optimum exists.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		r := data.NewRelation(data.NewNumericSchema("a", "b"))
+		for i := 0; i < 50; i++ {
+			r.Append(data.Tuple{
+				data.Num(math.Floor(rng.Float64() * 5)),
+				data.Num(math.Floor(rng.Float64() * 5)),
+			})
+		}
+		cons := Constraints{Eps: 1.5, Eta: 4}
+		to := data.Tuple{data.Num(12 + rng.Float64()*5), data.Num(math.Floor(rng.Float64() * 5))}
+		for _, x := range []data.AttrMask{0, data.AttrMask(0).With(1)} {
+			b, err := ComputeBounds(r, cons, to, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, opt := bruteOptimal(r, cons, to, x)
+			if math.IsInf(opt, 1) {
+				// No feasible adjustment from observed values; the upper
+				// bound must also be absent or the witness feasible.
+				continue
+			}
+			if b.Lower > opt+1e-9 {
+				t.Fatalf("trial %d mask %b: lower bound %v above optimum %v", trial, x, b.Lower, opt)
+			}
+			if !math.IsInf(b.Upper, 1) && b.Upper < opt-1e-9 {
+				t.Fatalf("trial %d mask %b: upper bound %v below optimum %v (not feasible?)", trial, x, b.Upper, opt)
+			}
+		}
+	}
+}
+
+func TestComputeBoundsWitnessIsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	r := clusterRelation(0, 0, 3)
+	cons := Constraints{Eps: 1.5, Eta: 3}
+	idx := neighbors.NewBrute(r)
+	for trial := 0; trial < 20; trial++ {
+		to := data.Tuple{data.Num(rng.Float64()*20 - 5), data.Num(rng.Float64()*20 - 5)}
+		for _, x := range []data.AttrMask{0, 1, 2} {
+			b, err := ComputeBounds(r, cons, to, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Witness == nil {
+				continue
+			}
+			if got := idx.CountWithin(b.Witness, cons.Eps, -1, 0); got < cons.Eta {
+				t.Fatalf("witness with %d ε-neighbors", got)
+			}
+			// Witness preserves the unadjusted attributes.
+			for a := 0; a < 2; a++ {
+				if x.Has(a) && b.Witness[a].Num != to[a].Num {
+					t.Fatalf("witness changed unadjusted attribute %d", a)
+				}
+			}
+			// Witness cost matches the reported upper bound.
+			if d := r.Schema.Dist(to, b.Witness); math.Abs(d-b.Upper) > 1e-9 {
+				t.Fatalf("witness cost %v != upper %v", d, b.Upper)
+			}
+		}
+	}
+}
+
+func TestComputeBoundsInfeasibleX(t *testing.T) {
+	r := clusterRelation(0, 0, 2)
+	cons := Constraints{Eps: 1.5, Eta: 3}
+	// Keeping x = 100 fixed admits no candidates at all.
+	to := data.Tuple{data.Num(100), data.Num(0)}
+	b, err := ComputeBounds(r, cons, to, data.AttrMask(0).With(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b.Lower, 1) || !math.IsInf(b.Upper, 1) || b.Witness != nil {
+		t.Errorf("infeasible X produced bounds %+v", b)
+	}
+	if _, err := ComputeBounds(r, Constraints{}, to, 0); err == nil {
+		t.Error("invalid constraints accepted")
+	}
+}
+
+func TestSaverAgreesWithBoundsAcrossMasks(t *testing.T) {
+	// The Algorithm 1 result can never beat the best Proposition-5 upper
+	// bound over all X it explores, and never undercut the X=∅ lower
+	// bound.
+	r := clusterRelation(0, 0, 3)
+	cons := Constraints{Eps: 1.5, Eta: 3}
+	s, err := NewSaver(r, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := data.Tuple{data.Num(9), data.Num(0.4)}
+	adj := s.Save(to)
+	if !adj.Saved() {
+		t.Fatal("not saved")
+	}
+	b0, err := ComputeBounds(r, cons, to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.Cost < b0.Lower-1e-9 {
+		t.Errorf("cost %v under the X=∅ lower bound %v", adj.Cost, b0.Lower)
+	}
+	// The best single-attribute-unadjusted upper bound is attainable.
+	bestUpper := b0.Upper
+	for a := 0; a < 2; a++ {
+		b, err := ComputeBounds(r, cons, to, data.AttrMask(0).With(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Upper < bestUpper {
+			bestUpper = b.Upper
+		}
+	}
+	if adj.Cost > bestUpper+1e-9 {
+		t.Errorf("cost %v above the best reachable upper bound %v", adj.Cost, bestUpper)
+	}
+}
+
+func TestSaverL1Norm(t *testing.T) {
+	r := clusterRelation(0, 0, 3)
+	r.Schema.Norm = metric.L1
+	cons := Constraints{Eps: 2, Eta: 3}
+	s, err := NewSaver(r, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := data.Tuple{data.Num(10), data.Num(0.25)}
+	adj := s.Save(to)
+	if !adj.Saved() {
+		t.Fatal("L1 saver failed")
+	}
+	idx := neighbors.NewBrute(r)
+	if got := idx.CountWithin(adj.Tuple, cons.Eps, -1, 0); got < cons.Eta {
+		t.Errorf("L1 adjustment infeasible (%d neighbors)", got)
+	}
+	if d := r.Schema.Dist(to, adj.Tuple); math.Abs(d-adj.Cost) > 1e-9 {
+		t.Errorf("L1 cost mismatch: %v vs %v", adj.Cost, d)
+	}
+}
+
+func TestSaverLInfNorm(t *testing.T) {
+	r := clusterRelation(0, 0, 3)
+	r.Schema.Norm = metric.LInf
+	cons := Constraints{Eps: 1.2, Eta: 3}
+	s, err := NewSaver(r, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := data.Tuple{data.Num(10), data.Num(0.25)}
+	adj := s.Save(to)
+	if !adj.Saved() {
+		t.Fatal("L∞ saver failed")
+	}
+	idx := neighbors.NewBrute(r)
+	if got := idx.CountWithin(adj.Tuple, cons.Eps, -1, 0); got < cons.Eta {
+		t.Errorf("L∞ adjustment infeasible (%d neighbors)", got)
+	}
+	if d := r.Schema.Dist(to, adj.Tuple); math.Abs(d-adj.Cost) > 1e-9 {
+		t.Errorf("L∞ cost mismatch: %v vs %v", adj.Cost, d)
+	}
+}
+
+func TestSaverWorkersOption(t *testing.T) {
+	ds := mixture(t, 400, 31)
+	cons := Constraints{Eps: ds.Eps, Eta: ds.Eta}
+	seq, err := SaveAll(ds.Rel, cons, Options{Kappa: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SaveAll(ds.Rel, cons, Options{Kappa: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Saved != par.Saved || seq.Natural != par.Natural {
+		t.Fatalf("parallel save differs: %d/%d vs %d/%d", seq.Saved, seq.Natural, par.Saved, par.Natural)
+	}
+	for k := range seq.Adjustments {
+		a, b := seq.Adjustments[k], par.Adjustments[k]
+		if a.Index != b.Index || math.Abs(a.Cost-b.Cost) > 1e-9 && !(math.IsInf(a.Cost, 1) && math.IsInf(b.Cost, 1)) {
+			t.Fatalf("adjustment %d differs between worker counts", k)
+		}
+	}
+}
+
+func TestKappaMonotonicity(t *testing.T) {
+	// Loosening κ can only lower (or keep) the adjustment cost.
+	ds := mixture(t, 300, 32)
+	cons := Constraints{Eps: ds.Eps, Eta: ds.Eta}
+	det, err := Detect(ds.Rel, cons, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Outliers) == 0 {
+		t.Skip("no outliers")
+	}
+	r := ds.Rel.Subset(det.Inliers)
+	costs := map[int][]float64{}
+	for ki, kappa := range []int{1, 2, 0} { // 0 = unrestricted
+		s, err := NewSaver(r, cons, Options{Kappa: kappa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oi := range det.Outliers {
+			adj := s.Save(ds.Rel.Tuples[oi])
+			c := math.Inf(1)
+			if adj.Saved() {
+				c = adj.Cost
+			}
+			costs[oi] = append(costs[oi], c)
+			_ = ki
+		}
+	}
+	for oi, cs := range costs {
+		for k := 1; k < len(cs); k++ {
+			if cs[k] > cs[k-1]+1e-9 {
+				t.Fatalf("outlier %d: cost increased when loosening κ: %v", oi, cs)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/data"
+)
+
+// SaveResult is the outcome of saving every outlier of a relation.
+type SaveResult struct {
+	// Repaired is a copy of the input relation with every saved outlier
+	// replaced by its adjustment; natural/unsaved outliers keep their
+	// original values (§1.2).
+	Repaired *data.Relation
+	// Detection is the inlier/outlier split the save ran against.
+	Detection *Detection
+	// Adjustments has one entry per outlier (Index filled with the tuple's
+	// position in the input relation), in Detection.Outliers order.
+	Adjustments []Adjustment
+	// Saved and Natural count the repaired and flagged outliers.
+	Saved, Natural int
+}
+
+// SaveAll runs the full DISC pipeline on a relation: detect the violations
+// of the distance constraints, split the dataset into inliers r and
+// outliers s, and save each outlier against r one by one (§2.2), in
+// parallel across outliers. The input relation is not modified.
+func SaveAll(rel *data.Relation, cons Constraints, opts Options) (*SaveResult, error) {
+	det, err := Detect(rel, cons, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &SaveResult{
+		Repaired:    rel.Clone(),
+		Detection:   det,
+		Adjustments: make([]Adjustment, len(det.Outliers)),
+	}
+	if len(det.Outliers) == 0 {
+		return res, nil
+	}
+	if len(det.Inliers) == 0 {
+		// Nothing to save against: every outlier stays unchanged.
+		for k, oi := range det.Outliers {
+			res.Adjustments[k] = Adjustment{Index: oi, Natural: true}
+			res.Natural++
+		}
+		return res, nil
+	}
+
+	r := rel.Subset(det.Inliers)
+	saverOpts := opts
+	saverOpts.Index = nil // opts.Index would index rel, not the inlier subset
+	saver, err := NewSaver(r, cons, saverOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallelFor(len(det.Outliers), workers, func(k int) {
+		oi := det.Outliers[k]
+		adj := saver.Save(rel.Tuples[oi])
+		adj.Index = oi
+		res.Adjustments[k] = adj
+	})
+	for k := range res.Adjustments {
+		adj := &res.Adjustments[k]
+		if adj.Saved() {
+			res.Repaired.Tuples[adj.Index] = adj.Tuple.Clone()
+			res.Saved++
+		} else {
+			res.Natural++
+		}
+	}
+	return res, nil
+}

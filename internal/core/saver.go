@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/metric"
+	"repro/internal/neighbors"
+)
+
+// Options tune Algorithm 1.
+type Options struct {
+	// Kappa bounds the number of adjusted attributes: the recursion only
+	// considers unadjusted sets X with |X| ≥ m−κ, the O(m^{κ+1}·n)
+	// variant of §3.3. κ ≤ 0 means unrestricted (start from X = ∅, which
+	// admits the Lemma 4 nearest-inlier fallback).
+	Kappa int
+	// DisablePruning turns off the Proposition 3 lower-bound pruning
+	// (ablation only).
+	DisablePruning bool
+	// DisableMemo turns off the visited-X deduplication (ablation only).
+	DisableMemo bool
+	// Workers bounds SaveAll's parallelism; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Index overrides the automatically built neighbor index over r.
+	Index neighbors.Index
+}
+
+// Saver saves outliers against a fixed set r of non-outlying tuples.
+type Saver struct {
+	rel  *data.Relation // r
+	cons Constraints
+	opts Options
+	idx  neighbors.Index
+	// etaRadius[i] = δ_η(t_i): distance from t_i to its η-th nearest
+	// neighbor within r. A tuple position with δ_η ≤ ε − d satisfies the
+	// constraints for any adjustment within d of it (Proposition 5).
+	etaRadius []float64
+	m         int
+	sqNorm    bool // L2: accumulate squared per-attribute distances
+}
+
+// NewSaver precomputes the η-th-neighbor radii of r. r must be outlier-free
+// under cons (use Detect to split first); an empty r cannot save anything
+// and is rejected.
+func NewSaver(r *data.Relation, cons Constraints, opts Options) (*Saver, error) {
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if r.N() == 0 {
+		return nil, fmt.Errorf("core: cannot save outliers against an empty inlier set")
+	}
+	idx := opts.Index
+	if idx == nil {
+		idx = neighbors.Build(r, cons.Eps)
+	}
+	s := &Saver{
+		rel:       r,
+		cons:      cons,
+		opts:      opts,
+		idx:       idx,
+		etaRadius: make([]float64, r.N()),
+		m:         r.Schema.M(),
+		sqNorm:    r.Schema.Norm == metric.L2,
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallelFor(r.N(), workers, func(i int) {
+		nn := idx.KNN(r.Tuples[i], cons.Eta, i)
+		if len(nn) < cons.Eta {
+			s.etaRadius[i] = math.Inf(1)
+			return
+		}
+		s.etaRadius[i] = nn[cons.Eta-1].Dist
+	})
+	return s, nil
+}
+
+// Rel returns the inlier relation r.
+func (s *Saver) Rel() *data.Relation { return s.rel }
+
+// Constraints returns the saver's (ε, η).
+func (s *Saver) Constraints() Constraints { return s.cons }
+
+// saveState is the per-outlier working set of Algorithm 1. Candidates are
+// compacted: position c stands for inlier ids[c], so the distance tables
+// only cover tuples that can ever matter.
+type saveState struct {
+	// ids maps compact candidate positions to tuple indexes in r.
+	ids []int
+	// attrD[c*m+a] is the per-attribute distance Δ(t_o[a], t_{ids[c]}[a])
+	// — squared under L2 so subset aggregates are additive.
+	attrD []float64
+	// fullD[c] is the full-space aggregate (squared under L2).
+	fullD []float64
+	// visited memoizes processed X masks.
+	visited map[data.AttrMask]struct{}
+	// best solution so far.
+	bestCost float64 // actual (non-squared) cost
+	bestT2   int     // inlier (tuple index in r) donating the R\X values (-1: none)
+	bestX    data.AttrMask
+	nodes    int
+}
+
+// Save finds the near-optimal adjustment of the outlier tuple to
+// (Algorithm 1). The caller is responsible for to actually violating the
+// constraints; saving an inlier simply returns a zero-cost adjustment.
+func (s *Saver) Save(to data.Tuple) Adjustment {
+	st := &saveState{
+		visited:  make(map[data.AttrMask]struct{}),
+		bestCost: math.Inf(1),
+		bestT2:   -1,
+	}
+	sch := s.rel.Schema
+
+	kappaRestricted := s.opts.Kappa > 0 && s.opts.Kappa < s.m
+
+	// Initialization (§3.3.2, Lemma 4): the nearest inlier satisfying the
+	// constraints is itself a feasible adjustment, adjusting all
+	// attributes (X = ∅ upper bound). It also bounds which inliers can
+	// ever improve the solution: a candidate of any node must be within ε
+	// on X, so a donor with Δ(t_o, t) > ε + bestCost can never yield a
+	// cheaper composite. Under the κ restriction the nearest inlier is
+	// not an admissible answer (it adjusts every attribute), so both the
+	// initialization and the truncation are skipped.
+	if !kappaRestricted {
+		if nn, cost := s.initialBound(to); nn >= 0 {
+			st.bestT2 = nn
+			st.bestX = 0
+			st.bestCost = cost
+		}
+	}
+
+	// Materialize the compact candidate tables.
+	if math.IsInf(st.bestCost, 1) {
+		st.ids = make([]int, s.rel.N())
+		for i := range st.ids {
+			st.ids[i] = i
+		}
+	} else {
+		ball := s.idx.Within(to, s.cons.Eps+st.bestCost, -1)
+		st.ids = make([]int, len(ball))
+		for c, nb := range ball {
+			st.ids[c] = nb.Idx
+		}
+	}
+	c := len(st.ids)
+	st.attrD = make([]float64, c*s.m)
+	st.fullD = make([]float64, c)
+	for ci, i := range st.ids {
+		t := s.rel.Tuples[i]
+		acc := 0.0
+		for a := 0; a < s.m; a++ {
+			d := sch.AttrDist(a, to[a], t[a])
+			if s.sqNorm {
+				d = d * d
+			}
+			st.attrD[ci*s.m+a] = d
+			acc = s.accumulate(acc, d)
+		}
+		st.fullD[ci] = acc
+	}
+
+	// Root candidate set: X = ∅ admits every (truncated) inlier.
+	cand := make([]int, c)
+	for ci := range cand {
+		cand[ci] = ci
+	}
+	subD := make([]float64, c) // d_X aggregate per candidate (squared under L2)
+
+	if kappaRestricted {
+		s.forEachStartMask(st, cand, subD)
+	} else {
+		s.recurse(st, 0, cand, subD)
+	}
+
+	if st.bestT2 < 0 {
+		return Adjustment{Index: -1, Cost: math.Inf(1), Natural: true, Nodes: st.nodes}
+	}
+	adj := data.Compose(to, s.rel.Tuples[st.bestT2], st.bestX)
+	return Adjustment{
+		Index:    -1,
+		Tuple:    adj,
+		Cost:     st.bestCost,
+		Adjusted: data.DiffMask(sch, to, adj),
+		Nodes:    st.nodes,
+	}
+}
+
+// initialBound finds the nearest inlier whose η-th-neighbor radius fits
+// inside ε (a feasible whole-tuple substitution, Lemma 4) and returns its
+// tuple index in r and its distance to to; (-1, +Inf) when r has no
+// feasible position at all.
+func (s *Saver) initialBound(to data.Tuple) (int, float64) {
+	// Grow k geometrically: the nearest feasible inlier is almost always
+	// among the first few nearest neighbors.
+	for k := 4; ; k *= 4 {
+		nn := s.idx.KNN(to, k, -1)
+		for _, nb := range nn {
+			if s.etaRadius[nb.Idx] <= s.cons.Eps {
+				return nb.Idx, nb.Dist
+			}
+		}
+		if len(nn) < k { // exhausted r
+			return -1, math.Inf(1)
+		}
+	}
+}
+
+// accumulate folds one per-attribute distance (already squared under L2)
+// into the norm accumulator.
+func (s *Saver) accumulate(acc, d float64) float64 {
+	if s.sqNorm {
+		return acc + d
+	}
+	return s.rel.Schema.Norm.Accumulate(acc, d)
+}
+
+// finish converts an accumulator into an actual distance.
+func (s *Saver) finish(acc float64) float64 {
+	if s.sqNorm {
+		return math.Sqrt(acc)
+	}
+	return s.rel.Schema.Norm.Finish(acc)
+}
+
+// threshold converts ε into accumulator units for comparisons.
+func (s *Saver) threshold(eps float64) float64 {
+	if eps < 0 {
+		return -1 // no candidate can have a negative aggregate
+	}
+	if s.sqNorm {
+		return eps * eps
+	}
+	return eps
+}
+
+// recurse processes the unadjusted set x with its candidate list
+// cand = r_ε(t_o[X]) and per-candidate subspace aggregates subD (aligned
+// with cand).
+func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float64) {
+	if !s.opts.DisableMemo {
+		if _, seen := st.visited[x]; seen {
+			return
+		}
+		st.visited[x] = struct{}{}
+	}
+	st.nodes++
+
+	// Proposition 3: fewer than η candidates on X means no feasible
+	// adjustment keeps t_o[X]; prune the whole branch (children's
+	// candidate sets only shrink).
+	if len(cand) < s.cons.Eta {
+		return
+	}
+
+	// Lower bound: Δ(t_o, t_1) − ε with t_1 the η-th nearest candidate by
+	// full-space distance.
+	if !s.opts.DisablePruning {
+		kth := quickselectKth(st, cand, s.cons.Eta)
+		if s.finish(kth)-s.cons.Eps >= st.bestCost {
+			return
+		}
+	}
+
+	// Upper bound (Proposition 5): t_2 ∈ r_ε(t_o[X]) with
+	// δ_η(t_2) ≤ ε − Δ(t_o[X], t_2[X]); the composite t_o[X] ⊕ t_2[R\X]
+	// is feasible and costs Δ(t_o[R\X], t_2[R\X]).
+	for li, c := range cand {
+		dx := s.finish(subD[li])
+		if s.etaRadius[st.ids[c]] > s.cons.Eps-dx {
+			continue
+		}
+		cost := s.finish(s.residual(st, subD[li], c, x))
+		if cost < st.bestCost {
+			st.bestCost = cost
+			st.bestT2 = st.ids[c]
+			st.bestX = x
+		}
+	}
+
+	// Recurse on X ∪ {A} for each adjustable attribute A.
+	epsAcc := s.threshold(s.cons.Eps)
+	for a := 0; a < s.m; a++ {
+		if x.Has(a) {
+			continue
+		}
+		child := x.With(a)
+		if !s.opts.DisableMemo {
+			if _, seen := st.visited[child]; seen {
+				continue
+			}
+		}
+		childCand := make([]int, 0, len(cand))
+		childSub := make([]float64, 0, len(cand))
+		for li, c := range cand {
+			nd := s.accumulate(subD[li], st.attrD[c*s.m+a])
+			if nd <= epsAcc {
+				childCand = append(childCand, c)
+				childSub = append(childSub, nd)
+			}
+		}
+		s.recurse(st, child, childCand, childSub)
+	}
+}
+
+// residual returns the aggregate of per-attribute distances over R\X for
+// candidate i, in accumulator units. L2 (squared) and L1 aggregates
+// subtract; L∞ does not decompose, so it is recomputed over R\X.
+func (s *Saver) residual(st *saveState, sub float64, i int, x data.AttrMask) float64 {
+	if s.sqNorm || s.rel.Schema.Norm == metric.L1 {
+		r := st.fullD[i] - sub
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+	acc := 0.0
+	for a := 0; a < s.m; a++ {
+		if x.Has(a) {
+			continue
+		}
+		acc = s.rel.Schema.Norm.Accumulate(acc, st.attrD[i*s.m+a])
+	}
+	return acc
+}
+
+// forEachStartMask enumerates every X with |X| = m−κ and runs the
+// recursion from each, sharing the memo table so overlapping supersets are
+// processed once (the O(m^{κ+1}·n) bound of §3.3). Enumeration iterates
+// over the κ-sized complements C = R\X: under the decomposable norms the
+// subspace aggregate is fullD minus the ≤ κ complement terms, an O(κ)
+// step per candidate instead of O(m−κ).
+func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float64) {
+	m := s.m
+	kappa := s.opts.Kappa
+	compl := make([]int, kappa)
+	for i := range compl {
+		compl[i] = i
+	}
+	epsAcc := s.threshold(s.cons.Eps)
+	decomposable := s.sqNorm || s.rel.Schema.Norm == metric.L1
+	if decomposable {
+		// A candidate can appear in some r_ε(t_o[X]) with |X| = m−κ only
+		// if dropping its κ most expensive attributes brings the
+		// aggregate under ε; filter the root set once instead of per
+		// mask (most distant tuples fail for every complement).
+		filtered := rootCand[:0:0]
+		for _, c := range rootCand {
+			if s.bestCaseSub(st, c, kappa) <= epsAcc {
+				filtered = append(filtered, c)
+			}
+		}
+		rootCand = filtered
+	}
+	// Scratch buffers reused across the C(m, κ) masks; recurse only reads
+	// them and copies what it keeps.
+	cand := make([]int, 0, len(rootCand))
+	sub := make([]float64, 0, len(rootCand))
+	for {
+		x := data.FullMask(m)
+		for _, a := range compl {
+			x = x.Without(a)
+		}
+		// Filter the root candidates down to r_ε(t_o[X]).
+		cand = cand[:0]
+		sub = sub[:0]
+		for _, c := range rootCand {
+			var acc float64
+			if decomposable {
+				acc = st.fullD[c]
+				for _, a := range compl {
+					acc -= st.attrD[c*m+a]
+				}
+				if acc < 0 {
+					acc = 0 // guard float cancellation
+				}
+			} else {
+				for a := 0; a < m; a++ {
+					if x.Has(a) {
+						acc = s.accumulate(acc, st.attrD[c*m+a])
+					}
+				}
+			}
+			if acc <= epsAcc {
+				cand = append(cand, c)
+				sub = append(sub, acc)
+			}
+		}
+		s.recurse(st, x, cand, sub)
+
+		// Next complement combination (lexicographic).
+		j := kappa - 1
+		for j >= 0 && compl[j] == m-kappa+j {
+			j--
+		}
+		if j < 0 {
+			return
+		}
+		compl[j]++
+		for l := j + 1; l < kappa; l++ {
+			compl[l] = compl[l-1] + 1
+		}
+	}
+}
+
+// bestCaseSub returns the smallest achievable subspace aggregate for
+// candidate c over any X with |X| = m−κ: the full aggregate minus the κ
+// largest per-attribute terms (valid for the decomposable norms).
+func (s *Saver) bestCaseSub(st *saveState, c, kappa int) float64 {
+	// Track the κ largest attribute terms (κ is small: 1–3 typically).
+	top := make([]float64, kappa)
+	for a := 0; a < s.m; a++ {
+		d := st.attrD[c*s.m+a]
+		// Insert into the running top-κ (insertion into a tiny array).
+		for k := 0; k < kappa; k++ {
+			if d > top[k] {
+				d, top[k] = top[k], d
+			}
+		}
+	}
+	acc := st.fullD[c]
+	for _, d := range top {
+		acc -= d
+	}
+	if acc < 0 {
+		acc = 0
+	}
+	return acc
+}
+
+// quickselectKth returns the k-th smallest (1-based) full-space aggregate
+// among the candidates, without fully sorting.
+func quickselectKth(st *saveState, cand []int, k int) float64 {
+	vals := make([]float64, len(cand))
+	for ci, i := range cand {
+		vals[ci] = st.fullD[i]
+	}
+	return quickselect(vals, k-1)
+}
+
+// quickselect returns the element with rank k (0-based) in ascending order,
+// partially reordering vals in place.
+func quickselect(vals []float64, k int) float64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		p := partition(vals, lo, hi)
+		switch {
+		case k == p:
+			return vals[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return vals[k]
+}
+
+func partition(vals []float64, lo, hi int) int {
+	// Median-of-three pivot defends against sorted inputs.
+	mid := (lo + hi) / 2
+	if vals[mid] < vals[lo] {
+		vals[mid], vals[lo] = vals[lo], vals[mid]
+	}
+	if vals[hi] < vals[lo] {
+		vals[hi], vals[lo] = vals[lo], vals[hi]
+	}
+	if vals[hi] < vals[mid] {
+		vals[hi], vals[mid] = vals[mid], vals[hi]
+	}
+	pivot := vals[mid]
+	vals[mid], vals[hi] = vals[hi], vals[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if vals[j] < pivot {
+			vals[i], vals[j] = vals[j], vals[i]
+			i++
+		}
+	}
+	vals[i], vals[hi] = vals[hi], vals[i]
+	return i
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given worker count.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV encodes the relation with a typed header: each column is written
+// as "name:numeric" or "name:text" so the schema round-trips.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema.M())
+	for i, a := range r.Schema.Attrs {
+		header[i] = a.Name + ":" + a.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("data: write header: %w", err)
+	}
+	row := make([]string, r.Schema.M())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if r.Schema.Attrs[i].Kind == Text {
+				row[i] = v.Str
+			} else {
+				row[i] = strconv.FormatFloat(v.Num, 'g', -1, 64)
+			}
+		}
+		// encoding/csv writes a single empty field as a blank line, which
+		// its reader then skips entirely; force quotes so the record
+		// survives the round trip.
+		if len(row) == 1 && row[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("data: write row: %w", err)
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("data: write row: %w", err)
+			}
+			continue
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a relation written by WriteCSV. Columns without a
+// ":numeric"/":text" suffix are treated as numeric when every value parses
+// as a float and as text otherwise.
+func ReadCSV(rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("data: csv has no header")
+	}
+	header := records[0]
+	rows := records[1:]
+	schema := &Schema{Attrs: make([]Attribute, len(header))}
+	typed := make([]bool, len(header))
+	for i, h := range header {
+		name, kind, ok := strings.Cut(h, ":")
+		if ok {
+			switch kind {
+			case "numeric":
+				schema.Attrs[i] = Attribute{Name: name, Kind: Numeric}
+				typed[i] = true
+			case "text":
+				schema.Attrs[i] = Attribute{Name: name, Kind: Text}
+				typed[i] = true
+			default:
+				schema.Attrs[i] = Attribute{Name: h, Kind: Numeric}
+			}
+		} else {
+			schema.Attrs[i] = Attribute{Name: h, Kind: Numeric}
+		}
+	}
+	// Infer kinds for untyped columns.
+	for i := range header {
+		if typed[i] {
+			continue
+		}
+		for _, row := range rows {
+			if i >= len(row) {
+				continue
+			}
+			if _, err := strconv.ParseFloat(row[i], 64); err != nil {
+				schema.Attrs[i].Kind = Text
+				break
+			}
+		}
+	}
+	rel := NewRelation(schema)
+	for ri, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("data: row %d has %d fields, want %d", ri+1, len(row), len(header))
+		}
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			if schema.Attrs[i].Kind == Text {
+				t[i] = Str(cell)
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d column %q: %w", ri+1, schema.Attrs[i].Name, err)
+			}
+			t[i] = Num(v)
+		}
+		rel.Append(t)
+	}
+	return rel, nil
+}

@@ -1,0 +1,38 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV decoder never panics and that whatever it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a:numeric,b:text\n1,x\n2,y\n")
+	f.Add("a,b\nnot,numbers\n")
+	f.Add("")
+	f.Add("x:numeric\nNaN\n")
+	f.Add("a:text\n\"quo\"\"te\"\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 4096 {
+			t.Skip()
+		}
+		rel, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("accepted relation failed to encode: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if back.N() != rel.N() || back.Schema.M() != rel.Schema.M() {
+			t.Fatalf("round-trip changed shape: %dx%d vs %dx%d",
+				rel.N(), rel.Schema.M(), back.N(), back.Schema.M())
+		}
+	})
+}

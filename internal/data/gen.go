@@ -1,0 +1,354 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MixtureSpec parameterizes the Gaussian-mixture generator that stands in
+// for the UCI-style numeric datasets of Table 1 (see DESIGN.md §3 for the
+// substitution rationale). Classes are well-separated Gaussian blobs; dirty
+// outliers corrupt 1–MaxDirtyAttrs attributes of in-cluster tuples by a
+// large shift (the inch-vs-cm style error of Figure 1); natural outliers
+// are displaced on every attribute (the t₁/t₂₉/t₃₀ points of §1.2).
+type MixtureSpec struct {
+	Name string
+	// N tuples, M numeric attributes, K classes.
+	N, M, K int
+	// Domain is the width of each attribute's value range [0, Domain].
+	Domain float64
+	// Std is the per-attribute standard deviation within a class.
+	Std float64
+	// Sep is the minimum center separation as a multiple of Std
+	// (default 8).
+	Sep float64
+	// DirtyFrac is the fraction of tuples corrupted with attribute errors.
+	DirtyFrac float64
+	// NaturalFrac is the fraction of tuples replaced by natural outliers.
+	NaturalFrac float64
+	// MaxDirtyAttrs bounds how many attributes one error corrupts
+	// (default 2; errors "occur minimally on only a fraction of
+	// attributes", §2.2).
+	MaxDirtyAttrs int
+	// Integer rounds values to integers (the Letter dataset's 0–15 grid).
+	Integer bool
+	// FactorScale controls within-class correlation: each class gets
+	// min(3, m) latent factor directions of magnitude FactorScale·Std, so
+	// clusters are elongated and attribute values co-vary — real
+	// UCI-style structure rather than spherical blobs. 0 means 2.5; set
+	// negative to disable.
+	FactorScale float64
+	// ActiveAttrs, when > 0 and < M, makes the data sparse in the
+	// Spambase style: each class is informative on only ActiveAttrs
+	// attributes; the rest sit near a common baseline with tiny noise
+	// (word frequencies that are ≈ 0 for most mails). Distances then
+	// concentrate on few attributes, as in the real wide datasets.
+	ActiveAttrs int
+	// Eps and Eta are the distance constraints to record on the dataset.
+	Eps float64
+	Eta int
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+}
+
+func (sp *MixtureSpec) defaults() {
+	if sp.Sep <= 0 {
+		sp.Sep = 8
+	}
+	if sp.MaxDirtyAttrs <= 0 {
+		sp.MaxDirtyAttrs = 2
+	}
+	if sp.Std <= 0 {
+		sp.Std = 1
+	}
+	if sp.Domain <= 0 {
+		sp.Domain = 100
+	}
+}
+
+// GenMixture builds a Dataset from the spec.
+func GenMixture(sp MixtureSpec) (*Dataset, error) {
+	sp.defaults()
+	if sp.N <= 0 || sp.M <= 0 || sp.M > 64 || sp.K <= 0 {
+		return nil, fmt.Errorf("data: invalid mixture spec n=%d m=%d k=%d", sp.N, sp.M, sp.K)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	centers := placeCenters(rng, sp.K, sp.M, sp.Domain, sp.Sep*sp.Std)
+
+	// Per-class shape: heteroscedastic per-attribute stds and latent
+	// factor directions that correlate the attributes.
+	factorScale := sp.FactorScale
+	if factorScale == 0 {
+		factorScale = 2.5
+	}
+	nf := 3
+	if sp.M < nf {
+		nf = sp.M
+	}
+	if factorScale < 0 {
+		nf = 0
+	}
+	stdMul := make([][]float64, sp.K)
+	factors := make([][][]float64, sp.K)
+	active := make([][]bool, sp.K)
+	sparse := sp.ActiveAttrs > 0 && sp.ActiveAttrs < sp.M
+	baseline := 0.05 * sp.Domain
+	for c := 0; c < sp.K; c++ {
+		active[c] = make([]bool, sp.M)
+		if sparse {
+			for _, a := range rng.Perm(sp.M)[:sp.ActiveAttrs] {
+				active[c][a] = true
+			}
+			for a := 0; a < sp.M; a++ {
+				if !active[c][a] {
+					centers[c][a] = baseline
+				}
+			}
+		} else {
+			for a := range active[c] {
+				active[c][a] = true
+			}
+		}
+		stdMul[c] = make([]float64, sp.M)
+		for a := 0; a < sp.M; a++ {
+			if active[c][a] {
+				stdMul[c][a] = 0.6 + 1.2*rng.Float64()
+			} else {
+				stdMul[c][a] = 0.05
+			}
+		}
+		factors[c] = make([][]float64, nf)
+		for f := 0; f < nf; f++ {
+			dir := make([]float64, sp.M)
+			norm := 0.0
+			for a := 0; a < sp.M; a++ {
+				if !active[c][a] {
+					continue
+				}
+				dir[a] = rng.NormFloat64()
+				norm += dir[a] * dir[a]
+			}
+			if norm == 0 {
+				norm = 1
+			}
+			norm = math.Sqrt(norm)
+			for a := 0; a < sp.M; a++ {
+				dir[a] = dir[a] / norm * factorScale * sp.Std
+			}
+			factors[c][f] = dir
+		}
+	}
+
+	names := make([]string, sp.M)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	schema := NewNumericSchema(names...)
+	ds := &Dataset{
+		Name:    sp.Name,
+		Rel:     NewRelation(schema),
+		Labels:  make([]int, sp.N),
+		Dirty:   make([]AttrMask, sp.N),
+		Natural: make([]bool, sp.N),
+		Clean:   make([]Tuple, sp.N),
+		Eps:     sp.Eps,
+		Eta:     sp.Eta,
+		Classes: sp.K,
+	}
+
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > sp.Domain {
+			return sp.Domain
+		}
+		if sp.Integer {
+			return math.Round(v)
+		}
+		return v
+	}
+
+	for i := 0; i < sp.N; i++ {
+		c := i % sp.K // round-robin keeps class sizes balanced
+		t := make(Tuple, sp.M)
+		off := make([]float64, sp.M)
+		for f := 0; f < nf; f++ {
+			z := rng.NormFloat64()
+			for a := 0; a < sp.M; a++ {
+				off[a] += z * factors[c][f][a]
+			}
+		}
+		for a := 0; a < sp.M; a++ {
+			t[a] = Num(clamp(centers[c][a] + off[a] + rng.NormFloat64()*sp.Std*stdMul[c][a]))
+		}
+		ds.Rel.Append(t)
+		ds.Labels[i] = c
+	}
+
+	injectNatural(rng, ds, sp.NaturalFrac, sp.Domain, sp.Std, centers, clamp)
+	injectDirty(rng, ds, sp.DirtyFrac, sp.MaxDirtyAttrs, sp.Domain, clamp)
+	return ds, nil
+}
+
+// placeCenters draws K centers in [0.15, 0.85]·Domain per axis with minimum
+// pairwise separation minSep (relaxed progressively if the box is too tight,
+// so generation always terminates).
+func placeCenters(rng *rand.Rand, k, m int, domain, minSep float64) [][]float64 {
+	centers := make([][]float64, 0, k)
+	lo, hi := 0.15*domain, 0.85*domain
+	sep := minSep
+	attempts := 0
+	for len(centers) < k {
+		c := make([]float64, m)
+		for a := range c {
+			c[a] = lo + rng.Float64()*(hi-lo)
+		}
+		ok := true
+		for _, o := range centers {
+			if euclid(c, o) < sep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, c)
+			attempts = 0
+			continue
+		}
+		if attempts++; attempts > 200 {
+			sep *= 0.8 // relax; dense configurations (e.g. K=26) must still place
+			attempts = 0
+		}
+	}
+	return centers
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// injectDirty corrupts DirtyFrac of the non-natural tuples on 1..maxAttrs
+// randomly chosen attributes with a shift of 25–50% of the domain — large
+// enough to make the tuple outlying, small enough to stay in range.
+func injectDirty(rng *rand.Rand, ds *Dataset, frac float64, maxAttrs int, domain float64, clamp func(float64) float64) {
+	if frac <= 0 {
+		return
+	}
+	n := ds.N()
+	want := int(math.Round(frac * float64(n)))
+	perm := rng.Perm(n)
+	done := 0
+	for _, i := range perm {
+		if done >= want {
+			break
+		}
+		if ds.Natural[i] || ds.Dirty[i] != 0 {
+			continue
+		}
+		ds.Clean[i] = ds.Rel.Tuples[i].Clone()
+		na := 1 + rng.Intn(maxAttrs)
+		m := ds.Rel.Schema.M()
+		if na > m {
+			na = m
+		}
+		for _, a := range rng.Perm(m)[:na] {
+			// Gross shifts (unit confusion and the like), always well
+			// beyond the distance threshold so the error registers as a
+			// distance-constraint violation.
+			shift := (0.25 + 0.24*rng.Float64()) * domain
+			if rng.Intn(2) == 0 {
+				shift = -shift
+			}
+			v := shiftWithin(ds.Rel.Tuples[i][a].Num, shift, 0, domain)
+			ds.Rel.Tuples[i][a] = Num(clamp(v))
+			ds.Dirty[i] = ds.Dirty[i].With(a)
+		}
+		done++
+	}
+}
+
+// injectNatural replaces NaturalFrac of the tuples with points displaced on
+// every attribute (another wind farm / extreme weather in the paper's
+// wording): uniform draws over the domain, rejection-sampled to stay well
+// away from every class center, so they are outlying without being so
+// extreme that a single natural point hijacks a K-Means center.
+func injectNatural(rng *rand.Rand, ds *Dataset, frac float64, domain, std float64, centers [][]float64, clamp func(float64) float64) {
+	if frac <= 0 {
+		return
+	}
+	n := ds.N()
+	want := int(math.Round(frac * float64(n)))
+	perm := rng.Perm(n)
+	m := ds.Rel.Schema.M()
+	minDist := 8 * std * math.Sqrt(float64(m))
+	for _, i := range perm[:min(want, n)] {
+		t := make(Tuple, m)
+		point := make([]float64, m)
+		for tries := 0; tries < 200; tries++ {
+			for a := 0; a < m; a++ {
+				point[a] = rng.Float64() * domain
+			}
+			ok := true
+			for _, c := range centers {
+				if euclid(point, c) < minDist {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			if tries == 199 {
+				// Crowded domain: fall back to the farthest corner mix.
+				for a := 0; a < m; a++ {
+					if rng.Intn(2) == 0 {
+						point[a] = rng.Float64() * 0.05 * domain
+					} else {
+						point[a] = domain - rng.Float64()*0.05*domain
+					}
+				}
+			}
+		}
+		for a := 0; a < m; a++ {
+			t[a] = Num(clamp(point[a]))
+		}
+		ds.Rel.Tuples[i] = t
+		ds.Labels[i] = -1
+		ds.Natural[i] = true
+		ds.Dirty[i] = 0
+		ds.Clean[i] = nil
+	}
+}
+
+// shiftWithin moves v by shift, flipping the direction when the preferred
+// one leaves [lo, hi]. Because |shift| < (hi−lo)/2, at least one direction
+// stays in range, so the displacement always keeps its full magnitude —
+// reflection at the boundary could otherwise land the "error" back near the
+// original value.
+func shiftWithin(v, shift, lo, hi float64) float64 {
+	if t := v + shift; t >= lo && t <= hi {
+		return t
+	}
+	if t := v - shift; t >= lo && t <= hi {
+		return t
+	}
+	// Shift larger than half the range: take the farther boundary.
+	if v-lo > hi-v {
+		return lo
+	}
+	return hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

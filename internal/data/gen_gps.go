@@ -1,0 +1,153 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GPSSpec parameterizes the trajectory generator standing in for the
+// paper's private GPS dataset (Table 1: 8125 tuples, 3 attributes
+// Time/Longitude/Latitude, 3 trajectories, 837 outliers). Dirty outliers
+// corrupt exactly one attribute (the t₁₃ longitude / t₂₄ timestamp errors of
+// Figure 2); natural outliers are device-testing points with all three
+// values off-trajectory (t₂₉/t₃₀).
+type GPSSpec struct {
+	Name string
+	// N tuples across Trajectories walks.
+	N, Trajectories int
+	// Step is the mean per-reading movement in longitude/latitude units.
+	Step float64
+	// Domain is the coordinate range width.
+	Domain float64
+	// DirtyFrac / NaturalFrac are outlier fractions as in MixtureSpec.
+	DirtyFrac, NaturalFrac float64
+	// Eps and Eta are the recorded distance constraints.
+	Eps  float64
+	Eta  int
+	Seed int64
+}
+
+// GenGPS builds the GPS dataset.
+func GenGPS(sp GPSSpec) (*Dataset, error) {
+	if sp.N <= 0 || sp.Trajectories <= 0 {
+		return nil, fmt.Errorf("data: invalid gps spec n=%d trajectories=%d", sp.N, sp.Trajectories)
+	}
+	if sp.Step <= 0 {
+		sp.Step = 3
+	}
+	if sp.Domain <= 0 {
+		sp.Domain = 3844
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+
+	schema := &Schema{Attrs: []Attribute{
+		// Time advances 1 per reading; scaling by 1/Step-ish units keeps
+		// one reading of time gap comparable to one reading of movement,
+		// as in the normalized distances of Example 2.
+		{Name: "Time", Kind: Numeric, Scale: 1},
+		{Name: "Longitude", Kind: Numeric, Scale: 1},
+		{Name: "Latitude", Kind: Numeric, Scale: 1},
+	}}
+	ds := &Dataset{
+		Name:    sp.Name,
+		Rel:     NewRelation(schema),
+		Labels:  make([]int, sp.N),
+		Dirty:   make([]AttrMask, sp.N),
+		Natural: make([]bool, sp.N),
+		Clean:   make([]Tuple, sp.N),
+		Eps:     sp.Eps,
+		Eta:     sp.Eta,
+		Classes: sp.Trajectories,
+	}
+
+	perTraj := sp.N / sp.Trajectories
+	idx := 0
+	for c := 0; c < sp.Trajectories; c++ {
+		length := perTraj
+		if c == sp.Trajectories-1 {
+			length = sp.N - idx // absorb remainder
+		}
+		// Disjoint time ranges and separated geographic regions keep the
+		// trajectories clusterable, like the three collections in Table 1.
+		t0 := float64(c) * float64(perTraj) * 3
+		lon := 0.2*sp.Domain + 0.6*sp.Domain*rng.Float64()
+		lat := 0.2*sp.Domain + 0.6*sp.Domain*rng.Float64()
+		heading := rng.Float64() * 2 * math.Pi
+		for i := 0; i < length; i++ {
+			heading += rng.NormFloat64() * 0.2
+			lon += math.Cos(heading) * sp.Step * (0.8 + 0.4*rng.Float64())
+			lat += math.Sin(heading) * sp.Step * (0.8 + 0.4*rng.Float64())
+			lon = reflect(lon, 0, sp.Domain)
+			lat = reflect(lat, 0, sp.Domain)
+			ds.Rel.Append(Tuple{Num(t0 + float64(i)), Num(lon), Num(lat)})
+			ds.Labels[idx] = c
+			idx++
+		}
+	}
+
+	// Natural outliers: all three attributes off any trajectory.
+	nNat := int(math.Round(sp.NaturalFrac * float64(sp.N)))
+	perm := rng.Perm(sp.N)
+	for _, i := range perm[:minInt(nNat, sp.N)] {
+		ds.Rel.Tuples[i] = Tuple{
+			Num(float64(sp.N) * 3.5 * (1 + rng.Float64())), // time outside every range
+			Num(rng.Float64() * 0.1 * sp.Domain),
+			Num(sp.Domain - rng.Float64()*0.1*sp.Domain),
+		}
+		ds.Labels[i] = -1
+		ds.Natural[i] = true
+	}
+
+	// Dirty outliers: exactly one attribute shifted far (≫ ε).
+	nDirty := int(math.Round(sp.DirtyFrac * float64(sp.N)))
+	done := 0
+	for _, i := range perm {
+		if done >= nDirty {
+			break
+		}
+		if ds.Natural[i] || ds.Dirty[i] != 0 {
+			continue
+		}
+		ds.Clean[i] = ds.Rel.Tuples[i].Clone()
+		a := rng.Intn(3)
+		shift := sp.Eps*8 + rng.Float64()*sp.Eps*20
+		if rng.Intn(2) == 0 {
+			shift = -shift
+		}
+		var v float64
+		if a > 0 {
+			v = shiftWithin(ds.Rel.Tuples[i][a].Num, shift, 0, sp.Domain)
+		} else {
+			// Timestamps have no fixed upper bound; only keep them ≥ 0.
+			v = ds.Rel.Tuples[i][a].Num + shift
+			if v < 0 {
+				v = ds.Rel.Tuples[i][a].Num - shift
+			}
+		}
+		ds.Rel.Tuples[i][a] = Num(v)
+		ds.Dirty[i] = AttrMask(0).With(a)
+		done++
+	}
+	return ds, nil
+}
+
+// reflect folds v back into [lo, hi] by mirroring at the boundaries.
+func reflect(v, lo, hi float64) float64 {
+	for v < lo || v > hi {
+		if v < lo {
+			v = 2*lo - v
+		}
+		if v > hi {
+			v = 2*hi - v
+		}
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/metric"
+)
+
+// RestaurantSpec parameterizes the textual record-linkage dataset standing
+// in for the UT Restaurant dataset (Table 1: 864 tuples, 5 attributes,
+// 752 entities — i.e. 112 duplicate pairs — and 86 outliers). Records
+// belong to chains (several branches share name/city/type), duplicates are
+// re-recordings of one branch with small format variation, and dirty
+// outliers carry heavy typos in one or two attributes (the RH10-OAG style
+// errors of §1.1).
+type RestaurantSpec struct {
+	Name string
+	// N tuples, Entities distinct restaurants (N−Entities duplicates).
+	N, Entities int
+	// DirtyFrac is the fraction of tuples corrupted with typos.
+	DirtyFrac float64
+	// Eps and Eta are the recorded distance constraints.
+	Eps  float64
+	Eta  int
+	Seed int64
+}
+
+var (
+	rstNameParts1 = []string{"golden", "silver", "blue", "royal", "little", "grand", "old", "new", "lucky", "green"}
+	rstNameParts2 = []string{"dragon", "garden", "palace", "kitchen", "bistro", "grill", "corner", "house", "table", "fork"}
+	rstCities     = []string{"new york", "los angeles", "chicago", "houston", "atlanta", "boston", "seattle", "denver"}
+	rstTypes      = []string{"chinese", "italian", "french", "mexican", "american", "japanese", "indian", "thai"}
+	rstStreets    = []string{"main", "oak", "pine", "maple", "cedar", "elm", "lake", "hill", "park", "river"}
+)
+
+// GenRestaurant builds the Restaurant dataset.
+func GenRestaurant(sp RestaurantSpec) (*Dataset, error) {
+	if sp.N <= 0 || sp.Entities <= 0 || sp.Entities > sp.N {
+		return nil, fmt.Errorf("data: invalid restaurant spec n=%d entities=%d", sp.N, sp.Entities)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+
+	// Scaled Needleman–Wunsch distances: address and phone vary across
+	// branches of a chain, so they are down-weighted to keep chain-mates
+	// within ε of each other; name/city/type dominate.
+	schema := &Schema{Attrs: []Attribute{
+		{Name: "name", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 1},
+		{Name: "addr", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 4},
+		{Name: "city", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 1},
+		{Name: "phone", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 4},
+		{Name: "type", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 1},
+	}}
+
+	type entity struct {
+		name, addr, city, phone, typ string
+	}
+	// Chains of 4–8 branches sharing name/city/type give every inlier
+	// several ε-neighbors (η = 3 in Figure 8).
+	entities := make([]entity, 0, sp.Entities)
+	chain := 0
+	for len(entities) < sp.Entities {
+		name := rstNameParts1[rng.Intn(len(rstNameParts1))] + " " + rstNameParts2[rng.Intn(len(rstNameParts2))]
+		city := rstCities[rng.Intn(len(rstCities))]
+		typ := rstTypes[rng.Intn(len(rstTypes))]
+		branches := 4 + rng.Intn(5)
+		for b := 0; b < branches && len(entities) < sp.Entities; b++ {
+			entities = append(entities, entity{
+				name:  name,
+				addr:  fmt.Sprintf("%d %s st", 10+rng.Intn(990), rstStreets[rng.Intn(len(rstStreets))]),
+				city:  city,
+				phone: fmt.Sprintf("%03d-%03d-%04d", 200+rng.Intn(700), rng.Intn(1000), rng.Intn(10000)),
+				typ:   typ,
+			})
+		}
+		chain++
+	}
+
+	ds := &Dataset{
+		Name:    sp.Name,
+		Rel:     NewRelation(schema),
+		Labels:  make([]int, sp.N),
+		Dirty:   make([]AttrMask, sp.N),
+		Natural: make([]bool, sp.N),
+		Clean:   make([]Tuple, sp.N),
+		Eps:     sp.Eps,
+		Eta:     sp.Eta,
+		Classes: sp.Entities,
+	}
+
+	toTuple := func(e entity) Tuple {
+		return Tuple{Str(e.name), Str(e.addr), Str(e.city), Str(e.phone), Str(e.typ)}
+	}
+	for i, e := range entities {
+		ds.Rel.Append(toTuple(e))
+		ds.Labels[i] = i
+	}
+	// Duplicates: re-record N−Entities randomly chosen entities with a
+	// small format variation (abbreviation, spacing), still matchable at
+	// n-gram similarity 0.7.
+	dups := sp.N - sp.Entities
+	for d := 0; d < dups; d++ {
+		src := rng.Intn(sp.Entities)
+		e := entities[src]
+		v := e
+		switch rng.Intn(3) {
+		case 0:
+			v.addr = strings.Replace(v.addr, " st", " street", 1)
+		case 1:
+			v.name = strings.Replace(v.name, " ", "  ", 1)
+		default:
+			v.phone = strings.Replace(v.phone, "-", "/", 1)
+		}
+		ds.Rel.Append(toTuple(v))
+		ds.Labels[sp.Entities+d] = src
+	}
+
+	// Dirty outliers: heavy typos (confusable swaps plus random edits) in
+	// one attribute, enough edits to violate the distance constraints.
+	nDirty := int(math.Round(sp.DirtyFrac * float64(sp.N)))
+	perm := rng.Perm(sp.N)
+	done := 0
+	for _, i := range perm {
+		if done >= nDirty {
+			break
+		}
+		if ds.Dirty[i] != 0 {
+			continue
+		}
+		ds.Clean[i] = ds.Rel.Tuples[i].Clone()
+		// Corrupt the name or the city — the unscaled attributes, so the
+		// damage registers against ε.
+		a := 0
+		if rng.Intn(3) == 0 {
+			a = 2
+		}
+		ds.Rel.Tuples[i][a] = Str(typo(rng, ds.Rel.Tuples[i][a].Str, 5+rng.Intn(4)))
+		ds.Dirty[i] = AttrMask(0).With(a)
+		done++
+	}
+	return ds, nil
+}
+
+// typo applies k random character edits: confusable substitutions when
+// possible, otherwise random letter substitutions and deletions.
+func typo(rng *rand.Rand, s string, k int) string {
+	r := []rune(s)
+	for e := 0; e < k && len(r) > 1; e++ {
+		p := rng.Intn(len(r))
+		switch rng.Intn(3) {
+		case 0: // substitution
+			r[p] = rune('a' + rng.Intn(26))
+		case 1: // deletion
+			r = append(r[:p], r[p+1:]...)
+		default: // insertion
+			r = append(r[:p], append([]rune{rune('a' + rng.Intn(26))}, r[p:]...)...)
+		}
+	}
+	return string(r)
+}

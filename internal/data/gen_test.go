@@ -1,0 +1,324 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenMixtureBasics(t *testing.T) {
+	ds, err := GenMixture(MixtureSpec{Name: "t", N: 300, M: 4, K: 3,
+		Domain: 20, Std: 0.5, DirtyFrac: 0.08, NaturalFrac: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 300 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	if got := ds.DirtyCount(); got != 24 {
+		t.Errorf("dirty count = %d, want 24", got)
+	}
+	if got := ds.NaturalCount(); got != 6 {
+		t.Errorf("natural count = %d, want 6", got)
+	}
+	// Every clean label is within [0, K); naturals are -1.
+	for i, l := range ds.Labels {
+		if ds.Natural[i] {
+			if l != -1 {
+				t.Fatalf("natural tuple %d has label %d", i, l)
+			}
+		} else if l < 0 || l >= 3 {
+			t.Fatalf("tuple %d has label %d", i, l)
+		}
+	}
+	// Values stay in domain.
+	for _, tu := range ds.Rel.Tuples {
+		for _, v := range tu {
+			if v.Num < 0 || v.Num > 20 {
+				t.Fatalf("value %v out of domain", v.Num)
+			}
+		}
+	}
+}
+
+func TestGenMixtureDeterministic(t *testing.T) {
+	sp := MixtureSpec{Name: "t", N: 100, M: 3, K: 2, Domain: 10, Std: 0.4,
+		DirtyFrac: 0.1, Seed: 7}
+	a, _ := GenMixture(sp)
+	b, _ := GenMixture(sp)
+	for i := range a.Rel.Tuples {
+		for j := range a.Rel.Tuples[i] {
+			if a.Rel.Tuples[i][j].Num != b.Rel.Tuples[i][j].Num {
+				t.Fatal("generator not deterministic for equal seeds")
+			}
+		}
+	}
+	c, _ := GenMixture(MixtureSpec{Name: "t", N: 100, M: 3, K: 2, Domain: 10,
+		Std: 0.4, DirtyFrac: 0.1, Seed: 8})
+	same := true
+	for i := range a.Rel.Tuples {
+		for j := range a.Rel.Tuples[i] {
+			if a.Rel.Tuples[i][j].Num != c.Rel.Tuples[i][j].Num {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenMixtureDirtyShiftsAreLarge(t *testing.T) {
+	ds, err := GenMixture(MixtureSpec{Name: "t", N: 500, M: 4, K: 3,
+		Domain: 20, Std: 0.5, DirtyFrac: 0.1, MaxDirtyAttrs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Rel.Tuples {
+		if ds.Dirty[i] == 0 {
+			continue
+		}
+		if ds.Dirty[i].Count() > 2 {
+			t.Fatalf("tuple %d corrupted on %d attributes, max 2", i, ds.Dirty[i].Count())
+		}
+		for a := 0; a < 4; a++ {
+			diff := math.Abs(ds.Rel.Tuples[i][a].Num - ds.Clean[i][a].Num)
+			if ds.Dirty[i].Has(a) {
+				if diff < 1 { // shift is 25–50% of domain 20, i.e. ≥ 5, minus reflection
+					t.Errorf("tuple %d attr %d dirty shift only %v", i, a, diff)
+				}
+			} else if diff != 0 {
+				t.Errorf("tuple %d attr %d changed but not marked dirty", i, a)
+			}
+		}
+	}
+}
+
+func TestGenMixtureInvalidSpecs(t *testing.T) {
+	if _, err := GenMixture(MixtureSpec{N: 0, M: 3, K: 2}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenMixture(MixtureSpec{N: 10, M: 0, K: 2}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := GenMixture(MixtureSpec{N: 10, M: 65, K: 2}); err == nil {
+		t.Error("m=65 accepted")
+	}
+	if _, err := GenMixture(MixtureSpec{N: 10, M: 3, K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGenGPS(t *testing.T) {
+	ds, err := GenGPS(GPSSpec{Name: "GPS", N: 900, Trajectories: 3, Step: 5,
+		Domain: 1000, DirtyFrac: 0.09, NaturalFrac: 0.10, Eps: 15, Eta: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rel.Schema.M() != 3 {
+		t.Fatalf("gps schema m = %d", ds.Rel.Schema.M())
+	}
+	if got := ds.DirtyCount(); got != 81 {
+		t.Errorf("dirty = %d, want 81", got)
+	}
+	if got := ds.NaturalCount(); got != 90 {
+		t.Errorf("natural = %d, want 90", got)
+	}
+	// Dirty tuples corrupt exactly one attribute and the shift is ≫ ε.
+	for i := range ds.Rel.Tuples {
+		if ds.Dirty[i] == 0 {
+			continue
+		}
+		if ds.Dirty[i].Count() != 1 {
+			t.Fatalf("gps dirty tuple %d corrupts %d attrs", i, ds.Dirty[i].Count())
+		}
+		a := ds.Dirty[i].Attrs(3)[0]
+		diff := math.Abs(ds.Rel.Tuples[i][a].Num - ds.Clean[i][a].Num)
+		if diff < ds.Eps*2 {
+			t.Errorf("gps dirty shift %v not ≫ ε=%v", diff, ds.Eps)
+		}
+	}
+	// Consecutive clean points of one trajectory stay within a few steps.
+	prev := -1
+	for i := 0; i < ds.N(); i++ {
+		if ds.Natural[i] || ds.Dirty[i] != 0 || ds.Labels[i] != 0 {
+			continue
+		}
+		if prev >= 0 && i == prev+1 {
+			d := ds.Rel.Schema.Dist(ds.Rel.Tuples[prev], ds.Rel.Tuples[i])
+			if d > 20 {
+				t.Fatalf("consecutive trajectory points %d,%d are %v apart", prev, i, d)
+			}
+		}
+		prev = i
+	}
+	if _, err := GenGPS(GPSSpec{N: 0, Trajectories: 3}); err == nil {
+		t.Error("invalid gps spec accepted")
+	}
+}
+
+func TestGenRestaurant(t *testing.T) {
+	ds, err := GenRestaurant(RestaurantSpec{Name: "Restaurant", N: 200,
+		Entities: 174, DirtyFrac: 0.1, Eps: 4.6, Eta: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 200 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	// 26 duplicates, labels point at source entities.
+	dups := 0
+	for i := 174; i < 200; i++ {
+		if ds.Labels[i] < 0 || ds.Labels[i] >= 174 {
+			t.Fatalf("duplicate %d labels entity %d", i, ds.Labels[i])
+		}
+		dups++
+	}
+	if dups != 26 {
+		t.Fatalf("dups = %d", dups)
+	}
+	if got := ds.DirtyCount(); got != 20 {
+		t.Errorf("dirty = %d, want 20", got)
+	}
+	// All attributes are text.
+	for _, a := range ds.Rel.Schema.Attrs {
+		if a.Kind != Text {
+			t.Fatalf("attribute %q is not text", a.Name)
+		}
+	}
+	// Dirty tuples actually changed.
+	for i := range ds.Rel.Tuples {
+		if ds.Dirty[i] == 0 {
+			continue
+		}
+		a := ds.Dirty[i].Attrs(5)[0]
+		if ds.Rel.Tuples[i][a].Str == ds.Clean[i][a].Str {
+			t.Errorf("dirty tuple %d attr %d unchanged", i, a)
+		}
+	}
+	if _, err := GenRestaurant(RestaurantSpec{N: 5, Entities: 10}); err == nil {
+		t.Error("entities > n accepted")
+	}
+}
+
+func TestTable1Registry(t *testing.T) {
+	for _, name := range Table1Names() {
+		ds, err := Table1(name, 0.05, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Eps <= 0 || ds.Eta <= 0 {
+			t.Errorf("%s: missing default (ε,η)", name)
+		}
+		if ds.Classes <= 0 {
+			t.Errorf("%s: missing class count", name)
+		}
+	}
+	if _, err := Table1("Nope", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Table1("Iris", 0, 1); err == nil {
+		t.Error("sizeScale 0 accepted")
+	}
+	if _, err := Table1("Iris", 1.5, 1); err == nil {
+		t.Error("sizeScale > 1 accepted")
+	}
+}
+
+func TestTable1FullSizesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation")
+	}
+	want := map[string]int{"Iris": 150, "Seeds": 210, "WIFI": 2000, "Yeast": 1299, "Restaurant": 864}
+	for name, n := range want {
+		ds, err := Table1(name, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.N() != n {
+			t.Errorf("%s: n = %d, want %d", name, ds.N(), n)
+		}
+	}
+}
+
+func TestDomain(t *testing.T) {
+	r := NewRelation(&Schema{Attrs: []Attribute{
+		{Name: "n", Kind: Numeric},
+		{Name: "s", Kind: Text},
+	}})
+	r.Append(Tuple{Num(2), Str("b")})
+	r.Append(Tuple{Num(1), Str("a")})
+	r.Append(Tuple{Num(2), Str("a")})
+	dom := Domain(r)
+	if len(dom[0]) != 2 || dom[0][0].Num != 1 || dom[0][1].Num != 2 {
+		t.Errorf("numeric domain = %v", dom[0])
+	}
+	if len(dom[1]) != 2 || dom[1][0].Str != "a" || dom[1][1].Str != "b" {
+		t.Errorf("text domain = %v", dom[1])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRelation(&Schema{Attrs: []Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "name", Kind: Text},
+	}})
+	r.Append(Tuple{Num(1.5), Str("hello, world")})
+	r.Append(Tuple{Num(-3), Str("quo\"te")})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 2 {
+		t.Fatalf("n = %d", got.N())
+	}
+	if got.Schema.Attrs[0].Kind != Numeric || got.Schema.Attrs[1].Kind != Text {
+		t.Error("kinds not round-tripped")
+	}
+	if got.Tuples[0][0].Num != 1.5 || got.Tuples[0][1].Str != "hello, world" {
+		t.Errorf("row 0 = %v", got.Tuples[0])
+	}
+	if got.Tuples[1][1].Str != "quo\"te" {
+		t.Errorf("quoting broken: %q", got.Tuples[1][1].Str)
+	}
+}
+
+func TestReadCSVInfersKinds(t *testing.T) {
+	in := "a,b\n1,x\n2,y\n"
+	r, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Attrs[0].Kind != Numeric {
+		t.Error("column a should infer numeric")
+	}
+	if r.Schema.Attrs[1].Kind != Text {
+		t.Error("column b should infer text")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a:numeric\nnotanumber\n")); err == nil {
+		t.Error("non-numeric cell in numeric column accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metric"
+)
+
+// jsonDataset is the serialization schema for a Dataset: everything an
+// experiment needs to rerun bit-for-bit, including the injected ground
+// truth, without re-running the generator.
+type jsonDataset struct {
+	Name    string        `json:"name"`
+	Attrs   []jsonAttr    `json:"attrs"`
+	Norm    uint8         `json:"norm"`
+	Tuples  [][]any       `json:"tuples"`
+	Labels  []int         `json:"labels"`
+	Dirty   []uint64      `json:"dirty"`
+	Natural []bool        `json:"natural"`
+	Clean   map[int][]any `json:"clean,omitempty"`
+	Eps     float64       `json:"eps"`
+	Eta     int           `json:"eta"`
+	Classes int           `json:"classes"`
+}
+
+type jsonAttr struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// WriteDatasetJSON serializes the dataset. Custom textual distance
+// functions are not serialized (they are code); the reader restores the
+// default Levenshtein for text attributes.
+func WriteDatasetJSON(w io.Writer, ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	out := jsonDataset{
+		Name:    ds.Name,
+		Norm:    uint8(ds.Rel.Schema.Norm),
+		Labels:  ds.Labels,
+		Natural: ds.Natural,
+		Eps:     ds.Eps,
+		Eta:     ds.Eta,
+		Classes: ds.Classes,
+		Clean:   map[int][]any{},
+	}
+	for _, a := range ds.Rel.Schema.Attrs {
+		out.Attrs = append(out.Attrs, jsonAttr{Name: a.Name, Kind: a.Kind.String(), Scale: a.Scale})
+	}
+	enc := func(t Tuple) []any {
+		row := make([]any, len(t))
+		for i, v := range t {
+			if ds.Rel.Schema.Attrs[i].Kind == Text {
+				row[i] = v.Str
+			} else {
+				row[i] = v.Num
+			}
+		}
+		return row
+	}
+	for _, t := range ds.Rel.Tuples {
+		out.Tuples = append(out.Tuples, enc(t))
+	}
+	out.Dirty = make([]uint64, len(ds.Dirty))
+	for i, m := range ds.Dirty {
+		out.Dirty[i] = uint64(m)
+		if m != 0 {
+			out.Clean[i] = enc(ds.Clean[i])
+		}
+	}
+	e := json.NewEncoder(w)
+	return e.Encode(out)
+}
+
+// ReadDatasetJSON deserializes a dataset written by WriteDatasetJSON.
+func ReadDatasetJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("data: decode dataset: %w", err)
+	}
+	schema := &Schema{Norm: normFromByte(in.Norm)}
+	for _, a := range in.Attrs {
+		kind := Numeric
+		if a.Kind == "text" {
+			kind = Text
+		}
+		schema.Attrs = append(schema.Attrs, Attribute{Name: a.Name, Kind: kind, Scale: a.Scale})
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	dec := func(row []any) (Tuple, error) {
+		if len(row) != schema.M() {
+			return nil, fmt.Errorf("data: row arity %d, want %d", len(row), schema.M())
+		}
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			if schema.Attrs[i].Kind == Text {
+				s, ok := cell.(string)
+				if !ok {
+					return nil, fmt.Errorf("data: attribute %q expects text", schema.Attrs[i].Name)
+				}
+				t[i] = Str(s)
+				continue
+			}
+			f, ok := cell.(float64)
+			if !ok {
+				return nil, fmt.Errorf("data: attribute %q expects a number", schema.Attrs[i].Name)
+			}
+			t[i] = Num(f)
+		}
+		return t, nil
+	}
+	ds := &Dataset{
+		Name:    in.Name,
+		Rel:     NewRelation(schema),
+		Labels:  in.Labels,
+		Natural: in.Natural,
+		Eps:     in.Eps,
+		Eta:     in.Eta,
+		Classes: in.Classes,
+	}
+	for _, row := range in.Tuples {
+		t, err := dec(row)
+		if err != nil {
+			return nil, err
+		}
+		ds.Rel.Append(t)
+	}
+	n := ds.Rel.N()
+	ds.Dirty = make([]AttrMask, n)
+	ds.Clean = make([]Tuple, n)
+	if len(in.Dirty) != n || len(in.Labels) != n || len(in.Natural) != n {
+		return nil, fmt.Errorf("data: dataset arrays disagree with n=%d", n)
+	}
+	for i, m := range in.Dirty {
+		ds.Dirty[i] = AttrMask(m)
+		if m != 0 {
+			row, ok := in.Clean[i]
+			if !ok {
+				return nil, fmt.Errorf("data: dirty tuple %d lacks its clean original", i)
+			}
+			t, err := dec(row)
+			if err != nil {
+				return nil, err
+			}
+			ds.Clean[i] = t
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func normFromByte(b uint8) metric.Norm { return metric.Norm(b) }

@@ -1,0 +1,93 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	ds, err := Table1("Iris", 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasetJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatasetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Classes != ds.Classes || back.Eps != ds.Eps || back.Eta != ds.Eta {
+		t.Fatalf("shape changed: %+v", back)
+	}
+	for i := range ds.Rel.Tuples {
+		for a := range ds.Rel.Tuples[i] {
+			if ds.Rel.Tuples[i][a].Num != back.Rel.Tuples[i][a].Num {
+				t.Fatalf("tuple %d attr %d changed", i, a)
+			}
+		}
+		if ds.Labels[i] != back.Labels[i] || ds.Dirty[i] != back.Dirty[i] || ds.Natural[i] != back.Natural[i] {
+			t.Fatalf("ground truth changed at %d", i)
+		}
+		if ds.Dirty[i] != 0 {
+			for a := range ds.Clean[i] {
+				if ds.Clean[i][a].Num != back.Clean[i][a].Num {
+					t.Fatalf("clean original changed at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetJSONTextRoundTrip(t *testing.T) {
+	ds, err := Table1("Restaurant", 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDatasetJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatasetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Rel.Tuples {
+		for a := range ds.Rel.Tuples[i] {
+			if ds.Rel.Tuples[i][a].Str != back.Rel.Tuples[i][a].Str {
+				t.Fatalf("text tuple %d attr %d changed", i, a)
+			}
+		}
+	}
+	// Note: custom text distances are code, not data; the reader restores
+	// the default Levenshtein.
+	if back.Rel.Schema.Attrs[0].Text != nil {
+		t.Error("text distance function should not survive serialization")
+	}
+	if back.Rel.Schema.Attrs[1].Scale != ds.Rel.Schema.Attrs[1].Scale {
+		t.Error("attribute scale lost")
+	}
+}
+
+func TestDatasetJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadDatasetJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadDatasetJSON(strings.NewReader(`{"attrs":[],"tuples":[]}`)); err == nil {
+		t.Error("empty schema accepted")
+	}
+	// Dirty tuple without a clean original.
+	bad := `{"name":"x","attrs":[{"name":"a","kind":"numeric"}],"tuples":[[1]],` +
+		`"labels":[0],"dirty":[1],"natural":[false],"eps":1,"eta":1,"classes":1}`
+	if _, err := ReadDatasetJSON(strings.NewReader(bad)); err == nil {
+		t.Error("dirty-without-clean accepted")
+	}
+	// Type mismatch.
+	bad2 := `{"name":"x","attrs":[{"name":"a","kind":"numeric"}],"tuples":[["str"]],` +
+		`"labels":[0],"dirty":[0],"natural":[false],"eps":1,"eta":1,"classes":1}`
+	if _, err := ReadDatasetJSON(strings.NewReader(bad2)); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalization rescales numeric attributes so heterogeneous columns
+// contribute comparably to the L2 aggregate — the preprocessing real
+// deployments apply before choosing (ε, η). Both methods work by setting
+// Attribute.Scale (the distance divisor) rather than rewriting values, so
+// the original data is preserved and CSV round-trips stay exact.
+
+// ScaleByStdDev sets each numeric attribute's Scale to its standard
+// deviation (z-score geometry): a distance of 1 on any attribute then
+// means "one standard deviation apart". Constant attributes keep scale 1.
+// The schema is modified in place; the previous scales are returned so
+// callers can restore them.
+func ScaleByStdDev(r *Relation) ([]float64, error) {
+	return setScales(r, func(vals []float64) float64 {
+		n := float64(len(vals))
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= n
+		s := 0.0
+		for _, v := range vals {
+			s += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(s / n)
+	})
+}
+
+// ScaleByRange sets each numeric attribute's Scale to its value range
+// (min-max geometry): a distance of 1 means "the full observed range
+// apart". Constant attributes keep scale 1. Returns the previous scales.
+func ScaleByRange(r *Relation) ([]float64, error) {
+	return setScales(r, func(vals []float64) float64 {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx - mn
+	})
+}
+
+// RestoreScales puts back scales previously returned by ScaleByStdDev or
+// ScaleByRange.
+func RestoreScales(r *Relation, scales []float64) error {
+	if len(scales) != r.Schema.M() {
+		return fmt.Errorf("data: %d scales for %d attributes", len(scales), r.Schema.M())
+	}
+	for a := range r.Schema.Attrs {
+		r.Schema.Attrs[a].Scale = scales[a]
+	}
+	return nil
+}
+
+func setScales(r *Relation, measure func([]float64) float64) ([]float64, error) {
+	if r.N() == 0 {
+		return nil, fmt.Errorf("data: cannot derive scales from an empty relation")
+	}
+	prev := make([]float64, r.Schema.M())
+	vals := make([]float64, r.N())
+	for a := range r.Schema.Attrs {
+		prev[a] = r.Schema.Attrs[a].Scale
+		if r.Schema.Attrs[a].Kind != Numeric {
+			continue
+		}
+		for i, t := range r.Tuples {
+			vals[i] = t[a].Num
+		}
+		s := measure(vals)
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			s = 1
+		}
+		r.Schema.Attrs[a].Scale = s
+	}
+	return prev, nil
+}

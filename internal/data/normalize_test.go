@@ -1,0 +1,90 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleByStdDev(t *testing.T) {
+	r := NewRelation(NewNumericSchema("small", "big"))
+	for i := 0; i < 10; i++ {
+		r.Append(Tuple{Num(float64(i)), Num(float64(i) * 1000)})
+	}
+	prev, err := ScaleByStdDev(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev[0] != 0 || prev[1] != 0 {
+		t.Errorf("previous scales = %v", prev)
+	}
+	// After scaling, both attributes contribute identically to distances.
+	d01 := r.Schema.AttrDist(0, r.Tuples[0][0], r.Tuples[9][0])
+	d11 := r.Schema.AttrDist(1, r.Tuples[0][1], r.Tuples[9][1])
+	if math.Abs(d01-d11) > 1e-9 {
+		t.Errorf("scaled per-attribute distances differ: %v vs %v", d01, d11)
+	}
+	if err := RestoreScales(r, prev); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Attrs[1].Scale != 0 {
+		t.Error("restore failed")
+	}
+}
+
+func TestScaleByRange(t *testing.T) {
+	r := NewRelation(NewNumericSchema("x"))
+	for i := 0; i <= 10; i++ {
+		r.Append(Tuple{Num(float64(i))})
+	}
+	if _, err := ScaleByRange(r); err != nil {
+		t.Fatal(err)
+	}
+	// Full-range distance is exactly 1.
+	if got := r.Schema.Dist(r.Tuples[0], r.Tuples[10]); math.Abs(got-1) > 1e-12 {
+		t.Errorf("range-scaled distance = %v, want 1", got)
+	}
+}
+
+func TestScaleConstantAttribute(t *testing.T) {
+	r := NewRelation(NewNumericSchema("k"))
+	for i := 0; i < 5; i++ {
+		r.Append(Tuple{Num(7)})
+	}
+	if _, err := ScaleByStdDev(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Attrs[0].Scale != 1 {
+		t.Errorf("constant attribute scale = %v, want 1", r.Schema.Attrs[0].Scale)
+	}
+}
+
+func TestScaleSkipsText(t *testing.T) {
+	s := &Schema{Attrs: []Attribute{
+		{Name: "w", Kind: Text, Scale: 3},
+		{Name: "x", Kind: Numeric},
+	}}
+	r := NewRelation(s)
+	for i := 0; i < 5; i++ {
+		r.Append(Tuple{Str("a"), Num(float64(i))})
+	}
+	if _, err := ScaleByStdDev(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Attrs[0].Scale != 3 {
+		t.Error("text attribute scale changed")
+	}
+	if s.Attrs[1].Scale <= 0 {
+		t.Error("numeric attribute scale not set")
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	r := NewRelation(NewNumericSchema("x"))
+	if _, err := ScaleByStdDev(r); err == nil {
+		t.Error("empty relation accepted")
+	}
+	r.Append(Tuple{Num(1)})
+	if err := RestoreScales(r, []float64{1, 2}); err == nil {
+		t.Error("wrong-arity restore accepted")
+	}
+}

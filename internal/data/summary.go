@@ -1,0 +1,132 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// AttrSummary is the per-attribute profile of a relation.
+type AttrSummary struct {
+	Name     string
+	Kind     Kind
+	Distinct int
+	// Numeric statistics (zero-valued for text attributes).
+	Min, Max, Mean, StdDev float64
+	// MaxLen is the longest textual value (0 for numeric attributes).
+	MaxLen int
+}
+
+// Summarize profiles every attribute of the relation — the datagen/disccli
+// inspection view.
+func Summarize(r *Relation) []AttrSummary {
+	m := r.Schema.M()
+	out := make([]AttrSummary, m)
+	for a := 0; a < m; a++ {
+		s := AttrSummary{Name: r.Schema.Attrs[a].Name, Kind: r.Schema.Attrs[a].Kind}
+		if s.Kind == Text {
+			seen := map[string]bool{}
+			for _, t := range r.Tuples {
+				v := t[a].Str
+				seen[v] = true
+				if l := len([]rune(v)); l > s.MaxLen {
+					s.MaxLen = l
+				}
+			}
+			s.Distinct = len(seen)
+			out[a] = s
+			continue
+		}
+		seen := map[float64]bool{}
+		s.Min, s.Max = math.Inf(1), math.Inf(-1)
+		mean, m2 := 0.0, 0.0
+		for i, t := range r.Tuples {
+			v := t[a].Num
+			seen[v] = true
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+			d := v - mean
+			mean += d / float64(i+1)
+			m2 += d * (v - mean)
+		}
+		if r.N() == 0 {
+			s.Min, s.Max = 0, 0
+		} else {
+			s.Mean = mean
+			s.StdDev = math.Sqrt(m2 / float64(r.N()))
+		}
+		s.Distinct = len(seen)
+		out[a] = s
+	}
+	return out
+}
+
+// FprintSummary renders the profile as an aligned table.
+func FprintSummary(w io.Writer, r *Relation) {
+	sums := Summarize(r)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "attribute\tkind\tdistinct\tmin\tmax\tmean\tstddev")
+	for _, s := range sums {
+		if s.Kind == Text {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t-\t-\t-\t(maxlen %d)\n", s.Name, s.Kind, s.Distinct, s.MaxLen)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			s.Name, s.Kind, s.Distinct, s.Min, s.Max, s.Mean, s.StdDev)
+	}
+	tw.Flush()
+}
+
+// PairwiseDistanceQuantiles samples up to pairs tuple pairs and returns the
+// requested quantiles of their distances — a quick feel for workable ε
+// ranges. The qs must be in [0, 1].
+func PairwiseDistanceQuantiles(r *Relation, pairs int, qs []float64, seed int64) []float64 {
+	n := r.N()
+	if n < 2 || pairs < 1 {
+		out := make([]float64, len(qs))
+		return out
+	}
+	rng := newLCG(seed)
+	ds := make([]float64, 0, pairs)
+	for k := 0; k < pairs; k++ {
+		i := int(rng.next() % uint64(n))
+		j := int(rng.next() % uint64(n))
+		if i == j {
+			continue
+		}
+		ds = append(ds, r.Schema.Dist(r.Tuples[i], r.Tuples[j]))
+	}
+	if len(ds) == 0 {
+		return make([]float64, len(qs))
+	}
+	sort.Float64s(ds)
+	out := make([]float64, len(qs))
+	for k, q := range qs {
+		idx := int(math.Ceil(q*float64(len(ds)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ds) {
+			idx = len(ds) - 1
+		}
+		out[k] = ds[idx]
+	}
+	return out
+}
+
+// lcg is a tiny deterministic generator so summary sampling needs no
+// math/rand state.
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*6364136223846793005 + 1442695040888963407} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}

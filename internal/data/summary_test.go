@@ -1,0 +1,80 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeNumeric(t *testing.T) {
+	r := NewRelation(NewNumericSchema("x"))
+	for _, v := range []float64{1, 2, 3, 4, 5, 5} {
+		r.Append(Tuple{Num(v)})
+	}
+	s := Summarize(r)[0]
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-10.0/3) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Distinct != 5 {
+		t.Errorf("distinct = %d", s.Distinct)
+	}
+	if s.StdDev <= 0 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeText(t *testing.T) {
+	sc := &Schema{Attrs: []Attribute{{Name: "w", Kind: Text}}}
+	r := NewRelation(sc)
+	for _, v := range []string{"a", "bb", "bb", "ccc"} {
+		r.Append(Tuple{Str(v)})
+	}
+	s := Summarize(r)[0]
+	if s.Distinct != 3 || s.MaxLen != 3 {
+		t.Errorf("text summary = %+v", s)
+	}
+}
+
+func TestFprintSummary(t *testing.T) {
+	sc := &Schema{Attrs: []Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "w", Kind: Text},
+	}}
+	r := NewRelation(sc)
+	r.Append(Tuple{Num(1), Str("hello")})
+	var buf bytes.Buffer
+	FprintSummary(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"attribute", "x", "w", "maxlen 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPairwiseDistanceQuantiles(t *testing.T) {
+	r := NewRelation(NewNumericSchema("x"))
+	for i := 0; i < 100; i++ {
+		r.Append(Tuple{Num(float64(i))})
+	}
+	qs := PairwiseDistanceQuantiles(r, 2000, []float64{0.1, 0.5, 0.9}, 1)
+	if len(qs) != 3 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	if !(qs[0] < qs[1] && qs[1] < qs[2]) {
+		t.Errorf("quantiles not increasing: %v", qs)
+	}
+	// Median pairwise |i−j| over U(0..99) is ≈ 29.
+	if qs[1] < 15 || qs[1] > 45 {
+		t.Errorf("median pairwise distance %v implausible", qs[1])
+	}
+	// Degenerate inputs.
+	empty := NewRelation(NewNumericSchema("x"))
+	if got := PairwiseDistanceQuantiles(empty, 10, []float64{0.5}, 1); got[0] != 0 {
+		t.Errorf("empty relation quantile = %v", got)
+	}
+}

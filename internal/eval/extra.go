@@ -1,0 +1,83 @@
+package eval
+
+import "math"
+
+// Purity returns the weighted fraction of tuples whose predicted cluster's
+// majority ground-truth class matches their own — a simple external
+// clustering measure complementing F1/NMI/ARI. Negative predicted labels
+// are singletons (their purity contribution is 1 when their truth label is
+// also a singleton).
+func Purity(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("eval: label vectors of different length")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	p := canonicalize(pred)
+	g := canonicalize(truth)
+	table, aSizes, _ := contingency(p, g)
+	majority := map[int]float64{}
+	for key, c := range table {
+		if c > majority[key[0]] {
+			majority[key[0]] = c
+		}
+	}
+	correct := 0.0
+	for cl := range aSizes {
+		correct += majority[cl]
+	}
+	return correct / float64(len(pred))
+}
+
+// Homogeneity measures whether each predicted cluster contains members of
+// a single class: 1 − H(truth|pred)/H(truth), 1 when truth is trivial.
+func Homogeneity(pred, truth []int) float64 {
+	return conditionalScore(truth, pred)
+}
+
+// Completeness measures whether all members of a class land in the same
+// predicted cluster: 1 − H(pred|truth)/H(pred).
+func Completeness(pred, truth []int) float64 {
+	return conditionalScore(pred, truth)
+}
+
+// VMeasure is the harmonic mean of homogeneity and completeness
+// (Rosenberg & Hirschberg), an entropy-based analogue of F1.
+func VMeasure(pred, truth []int) float64 {
+	h := Homogeneity(pred, truth)
+	c := Completeness(pred, truth)
+	if h+c == 0 {
+		return 0
+	}
+	return 2 * h * c / (h + c)
+}
+
+// conditionalScore returns 1 − H(target|given)/H(target).
+func conditionalScore(target, given []int) float64 {
+	if len(target) != len(given) {
+		panic("eval: label vectors of different length")
+	}
+	if len(target) == 0 {
+		return 1
+	}
+	tg := canonicalize(target)
+	gv := canonicalize(given)
+	n := float64(len(target))
+	_, tSizes, _ := contingency(tg, gv)
+	ht := entropy(tSizes, n)
+	if ht == 0 {
+		return 1
+	}
+	// H(target | given) = Σ_g p(g) H(target | given=g).
+	table, _, gSizes := contingency(tg, gv)
+	hc := 0.0
+	for key, c := range table {
+		pg := gSizes[key[1]] / n
+		pt := c / gSizes[key[1]]
+		if pt > 0 {
+			hc -= pg * pt * math.Log(pt)
+		}
+	}
+	return 1 - hc/ht
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPurity(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	if got := Purity(truth, truth); got != 1 {
+		t.Errorf("perfect purity = %v", got)
+	}
+	// One cluster containing both classes halves purity for that cluster.
+	pred := []int{0, 0, 0, 0}
+	if got := Purity(pred, truth); got != 0.5 {
+		t.Errorf("merged purity = %v, want 0.5", got)
+	}
+	// Splitting never hurts purity.
+	split := []int{0, 1, 2, 3}
+	if got := Purity(split, truth); got != 1 {
+		t.Errorf("singleton purity = %v, want 1", got)
+	}
+}
+
+func TestHomogeneityCompleteness(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	// Over-splitting keeps homogeneity 1 but drops completeness.
+	split := []int{0, 1, 2, 3}
+	if got := Homogeneity(split, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("split homogeneity = %v, want 1", got)
+	}
+	if got := Completeness(split, truth); got >= 1 {
+		t.Errorf("split completeness = %v, want < 1", got)
+	}
+	// Merging flips the relationship.
+	merged := []int{0, 0, 0, 0}
+	if got := Completeness(merged, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("merged completeness = %v, want 1", got)
+	}
+	if got := Homogeneity(merged, truth); got >= 1 {
+		t.Errorf("merged homogeneity = %v, want < 1", got)
+	}
+}
+
+func TestVMeasure(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	if got := VMeasure(truth, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect V = %v", got)
+	}
+	perm := []int{2, 2, 0, 0, 1, 1}
+	if got := VMeasure(perm, truth); math.Abs(got-1) > 1e-12 {
+		t.Errorf("permuted V = %v", got)
+	}
+	// Random labelings score low on a large sample.
+	rng := rand.New(rand.NewSource(8))
+	a := make([]int, 4000)
+	b := make([]int, 4000)
+	for i := range a {
+		a[i] = rng.Intn(4)
+		b[i] = rng.Intn(4)
+	}
+	if got := VMeasure(a, b); got > 0.05 {
+		t.Errorf("random V = %v", got)
+	}
+	if got := VMeasure(nil, nil); got != 1 {
+		t.Errorf("empty V = %v", got)
+	}
+}
+
+func TestVMeasureTracksF1Ordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := make([]int, 600)
+	for i := range truth {
+		truth[i] = i % 3
+	}
+	half := append([]int(nil), truth...)
+	for i := 0; i < 200; i++ {
+		half[rng.Intn(600)] = rng.Intn(3)
+	}
+	if !(VMeasure(truth, truth) > VMeasure(half, truth)) {
+		t.Error("V-measure ordering violated")
+	}
+}
+
+func TestExtraMeasuresPanicOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Purity":   func() { Purity([]int{1}, []int{1, 2}) },
+		"VMeasure": func() { VMeasure([]int{1}, []int{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"repro/internal/data"
+)
+
+// Silhouette returns the mean silhouette coefficient of a clustering over
+// the relation: for each clustered tuple, (b − a) / max(a, b) with a the
+// mean distance to its own cluster and b the smallest mean distance to
+// another cluster. Noise points (label < 0) and singleton clusters
+// contribute 0, the usual convention. It is an *internal* quality measure
+// (no ground truth needed) — useful for choosing K or ε when labels are
+// unavailable. O(n²) distance computations.
+func Silhouette(rel *data.Relation, labels []int) float64 {
+	n := rel.N()
+	if n != len(labels) {
+		panic("eval: label vector length mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	// Cluster membership lists.
+	members := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	if len(members) < 2 {
+		return 0 // silhouette needs at least two clusters
+	}
+	total := 0.0
+	counted := 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		own := members[l]
+		if len(own) < 2 {
+			counted++ // singleton: contributes 0
+			continue
+		}
+		// a: mean distance within the own cluster.
+		a := 0.0
+		for _, j := range own {
+			if j == i {
+				continue
+			}
+			a += rel.Schema.Dist(rel.Tuples[i], rel.Tuples[j])
+		}
+		a /= float64(len(own) - 1)
+		// b: smallest mean distance to another cluster.
+		b := -1.0
+		for cl, ms := range members {
+			if cl == l {
+				continue
+			}
+			d := 0.0
+			for _, j := range ms {
+				d += rel.Schema.Dist(rel.Tuples[i], rel.Tuples[j])
+			}
+			d /= float64(len(ms))
+			if b < 0 || d < b {
+				b = d
+			}
+		}
+		mx := a
+		if b > mx {
+			mx = b
+		}
+		if mx > 0 {
+			total += (b - a) / mx
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

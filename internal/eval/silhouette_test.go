@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func sblobs(k, sz int, sep float64, seed int64) (*data.Relation, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rel := data.NewRelation(data.NewNumericSchema("x", "y"))
+	labels := make([]int, 0, k*sz)
+	for c := 0; c < k; c++ {
+		for i := 0; i < sz; i++ {
+			rel.Append(data.Tuple{
+				data.Num(float64(c)*sep + rng.NormFloat64()),
+				data.Num(rng.NormFloat64()),
+			})
+			labels = append(labels, c)
+		}
+	}
+	return rel, labels
+}
+
+func TestSilhouetteSeparatedBlobsScoreHigh(t *testing.T) {
+	rel, labels := sblobs(3, 40, 30, 1)
+	s := Silhouette(rel, labels)
+	if s < 0.8 {
+		t.Errorf("well-separated silhouette = %v", s)
+	}
+}
+
+func TestSilhouetteOrdersConfigurations(t *testing.T) {
+	// Correct labels beat random labels on the same geometry.
+	rel, labels := sblobs(3, 40, 12, 2)
+	good := Silhouette(rel, labels)
+	rng := rand.New(rand.NewSource(3))
+	randomized := make([]int, len(labels))
+	for i := range randomized {
+		randomized[i] = rng.Intn(3)
+	}
+	bad := Silhouette(rel, randomized)
+	if good <= bad {
+		t.Errorf("good %v not above random %v", good, bad)
+	}
+	if bad > 0.2 {
+		t.Errorf("random silhouette suspiciously high: %v", bad)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	rel, labels := sblobs(1, 30, 1, 4)
+	if got := Silhouette(rel, labels); got != 0 {
+		t.Errorf("single cluster = %v, want 0", got)
+	}
+	// All noise.
+	noise := make([]int, rel.N())
+	for i := range noise {
+		noise[i] = -1
+	}
+	if got := Silhouette(rel, noise); got != 0 {
+		t.Errorf("all noise = %v", got)
+	}
+	empty := data.NewRelation(data.NewNumericSchema("x"))
+	if got := Silhouette(empty, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Silhouette(rel, labels[:3])
+}
+
+func TestSilhouetteSingletonsContributeZero(t *testing.T) {
+	rel, labels := sblobs(2, 20, 30, 5)
+	rel.Append(data.Tuple{data.Num(500), data.Num(500)})
+	labels = append(labels, 7) // singleton cluster
+	withSingleton := Silhouette(rel, labels)
+	without := Silhouette(rel.Subset(seqInts(40)), labels[:40])
+	if withSingleton >= without {
+		t.Errorf("singleton should dilute the mean: %v vs %v", withSingleton, without)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: adjustment/explanation accuracy, modified attributes and cost vs η (a,c,e) and ε (b,d,f)",
+		Run:   runFig10,
+	})
+}
+
+var fig10Methods = []string{"DISC", "SSE", "DORC", "ERACER", "HoloClean", "Holistic"}
+
+func runFig10(cfg Config) (*Result, error) {
+	n := int(1000 * cfg.scale(1))
+	if n < 200 {
+		n = 200
+	}
+	// The paper's Figure 10 workload: n=1000, m=10, randomly injected
+	// attribute errors.
+	ds, err := letterLike(n, 10, 10, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	cfg.progressf("fig10: letter-like (n=%d, m=10)\n", ds.N())
+
+	header := append([]string{"Sweep"}, fig10Methods...)
+	jacEta := Table{Title: "Fig 10(a): Jaccard vs η (ε=3)", Header: header}
+	jacEps := Table{Title: "Fig 10(b): Jaccard vs ε (η=4)", Header: header}
+	attEta := Table{Title: "Fig 10(c): #modified attributes vs η (ε=3)", Header: header}
+	attEps := Table{Title: "Fig 10(d): #modified attributes vs ε (η=4)", Header: header}
+	cstEta := Table{Title: "Fig 10(e): adjustment cost vs η (ε=3)", Header: header}
+	cstEps := Table{Title: "Fig 10(f): adjustment cost vs ε (η=4)", Header: header}
+
+	addRows := func(label string, eps float64, eta int, jac, att, cst *Table) error {
+		acc, err := adjustmentAccuracy(ds, eps, eta, discKappa(ds.Name))
+		if err != nil {
+			return err
+		}
+		jr := []string{label}
+		ar := []string{label}
+		cr := []string{label}
+		for _, m := range fig10Methods {
+			st := acc[m]
+			jr = append(jr, fmtF(st.jaccard()))
+			ar = append(ar, fmt.Sprintf("%.2f", st.attrs()))
+			if m == "SSE" {
+				cr = append(cr, "-") // SSE explains; it does not adjust
+			} else {
+				cr = append(cr, fmt.Sprintf("%.3g", st.cost()))
+			}
+		}
+		jac.Rows = append(jac.Rows, jr)
+		att.Rows = append(att.Rows, ar)
+		cst.Rows = append(cst.Rows, cr)
+		return nil
+	}
+
+	for _, eta := range []int{2, 3, 4, 6} {
+		cfg.progressf("fig10: η=%d\n", eta)
+		if err := addRows(fmt.Sprintf("η=%d", eta), ds.Eps, eta, &jacEta, &attEta, &cstEta); err != nil {
+			return nil, fmt.Errorf("fig10 η=%d: %w", eta, err)
+		}
+	}
+	for _, eps := range []float64{2, 2.5, 3, 3.5} {
+		cfg.progressf("fig10: ε=%v\n", eps)
+		if err := addRows(fmt.Sprintf("ε=%.2g", eps), eps, ds.Eta, &jacEps, &attEps, &cstEps); err != nil {
+			return nil, fmt.Errorf("fig10 ε=%v: %w", eps, err)
+		}
+	}
+	return &Result{Tables: []Table{jacEta, jacEps, attEta, attEps, cstEta, cstEps}}, nil
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/clean"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/match"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: record matching over Restaurant vs ε (a) and η (b) — ERACER does not apply (text)",
+		Run:   runFig8,
+	})
+}
+
+func runFig8(cfg Config) (*Result, error) {
+	ds, err := data.Table1("Restaurant", cfg.scale(1), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	cfg.progressf("fig8: Restaurant (n=%d)\n", ds.N())
+
+	matchF1 := func(rel *data.Relation) float64 {
+		if rel == nil {
+			return 0
+		}
+		_, _, f1 := match.Score(match.Match(rel, match.Config{}), ds.Labels)
+		return f1
+	}
+	rawF1 := matchF1(ds.Rel)
+
+	// Flat baselines: HoloClean and Holistic do not take (ε, η).
+	holoRel, _ := (&clean.HoloClean{}).Clean(ds.Rel)
+	holiRel, _ := (&clean.Holistic{}).Clean(ds.Rel)
+	holoF1 := matchF1(holoRel)
+	holiF1 := matchF1(holiRel)
+
+	header := []string{"Sweep", "Raw", "DISC", "DORC", "HoloClean", "Holistic"}
+	row := func(label string, eps float64, eta int) ([]string, error) {
+		discRes, err := core.SaveAll(ds.Rel, core.Constraints{Eps: eps, Eta: eta},
+			core.Options{Kappa: discKappa(ds.Name)})
+		if err != nil {
+			return nil, err
+		}
+		dorcRel, err := (&clean.DORC{Eps: eps, Eta: eta}).Clean(ds.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return []string{label, fmtF(rawF1), fmtF(matchF1(discRes.Repaired)),
+			fmtF(matchF1(dorcRel)), fmtF(holoF1), fmtF(holiF1)}, nil
+	}
+
+	a := Table{Title: "Fig 8(a): record-matching F1 vs ε (η=3)", Header: header}
+	for _, eps := range []float64{2.6, 3.6, 4.6, 5.6, 6.6} {
+		cfg.progressf("fig8a: ε=%v\n", eps)
+		r, err := row(fmt.Sprintf("ε=%.2g", eps), eps, ds.Eta)
+		if err != nil {
+			return nil, fmt.Errorf("fig8a ε=%v: %w", eps, err)
+		}
+		a.Rows = append(a.Rows, r)
+	}
+	b := Table{Title: "Fig 8(b): record-matching F1 vs η (ε=4.6)", Header: header}
+	for _, eta := range []int{2, 3, 4, 5} {
+		cfg.progressf("fig8b: η=%d\n", eta)
+		r, err := row(fmt.Sprintf("η=%d", eta), ds.Eps, eta)
+		if err != nil {
+			return nil, fmt.Errorf("fig8b η=%d: %w", eta, err)
+		}
+		b.Rows = append(b.Rows, r)
+	}
+	return &Result{Tables: []Table{a, b}}, nil
+}

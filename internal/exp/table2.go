@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// table2Scales keeps the quadratic competitor (DORC) and the full pipeline
+// benchable: the large datasets run at a reduced default scale, as
+// recorded in EXPERIMENTS.md. SizeScale multiplies these.
+var table2Scales = map[string]float64{
+	"Iris":   1,
+	"Seeds":  1,
+	"WIFI":   1,
+	"Yeast":  1,
+	"Letter": 0.2,
+	"Flight": 0.05,
+	"Spam":   0.3,
+	"GPS":    0.5,
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: DBSCAN clustering over raw data vs outlier saving vs data cleaning (NMI/ARI/F1/time)",
+		Run:   runTable2,
+	})
+}
+
+func runTable2(cfg Config) (*Result, error) {
+	nmi := Table{Title: "NMI (DBSCAN)", Header: append([]string{"Data"}, methodNames...)}
+	ari := Table{Title: "ARI (DBSCAN)", Header: append([]string{"Data"}, methodNames...)}
+	f1 := Table{Title: "F1-score (DBSCAN)", Header: append([]string{"Data"}, methodNames...)}
+	tc := Table{Title: "Time cost (s) (DBSCAN)", Header: append([]string{"Data"}, methodNames...)}
+
+	for _, name := range data.NumericTable1Names() {
+		ds, err := data.Table1(name, cfg.scale(table2Scales[name]), cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", name, err)
+		}
+		cfg.progressf("table2: %s (n=%d)\n", name, ds.N())
+		nmiRow := []string{name}
+		ariRow := []string{name}
+		f1Row := []string{name}
+		tcRow := []string{name}
+		for _, method := range methodNames {
+			rel, elapsed := applyMethod(method, ds)
+			if rel == nil {
+				nmiRow = append(nmiRow, "-")
+				ariRow = append(ariRow, "-")
+				f1Row = append(f1Row, "-")
+				tcRow = append(tcRow, "-")
+				continue
+			}
+			sc := clusterScores(rel, ds)
+			nmiRow = append(nmiRow, fmtF(sc.NMI))
+			ariRow = append(ariRow, fmtF(sc.ARI))
+			f1Row = append(f1Row, fmtF(sc.F1))
+			tcRow = append(tcRow, fmtS(elapsed.Seconds()))
+		}
+		nmi.Rows = append(nmi.Rows, nmiRow)
+		ari.Rows = append(ari.Rows, ariRow)
+		f1.Rows = append(f1.Rows, f1Row)
+		tc.Rows = append(tc.Rows, tcRow)
+	}
+	return &Result{Tables: []Table{nmi, ari, f1, tc}}, nil
+}

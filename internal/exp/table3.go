@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: F1 of six clustering algorithms over raw data vs DISC outlier saving",
+		Run:   runTable3,
+	})
+}
+
+// clusterAlgos is the fixed algorithm order of Table 3.
+var clusterAlgos = []string{"DBSCAN", "K-Means", "K-Means--", "CCKM", "SREM", "KMC"}
+
+// runClusterAlgo runs one named clustering algorithm over a relation.
+func runClusterAlgo(algo string, rel *data.Relation, ds *data.Dataset, seed int64) (cluster.Result, error) {
+	switch algo {
+	case "DBSCAN":
+		return cluster.DBSCAN(rel, cluster.DBSCANConfig{Eps: ds.Eps, MinPts: ds.Eta}), nil
+	case "K-Means":
+		return cluster.KMeans(rel, cluster.KMeansConfig{K: ds.Classes, Seed: seed})
+	case "K-Means--":
+		return cluster.KMeansMM(rel, cluster.KMeansConfig{K: ds.Classes, L: outlierBudget(ds), Seed: seed})
+	case "CCKM":
+		return cluster.CCKM(rel, cluster.KMeansConfig{K: ds.Classes, L: outlierBudget(ds), Seed: seed})
+	case "SREM":
+		return cluster.SREM(rel, cluster.SREMConfig{K: ds.Classes, Seed: seed})
+	case "KMC":
+		return cluster.KMC(rel, cluster.KMCConfig{K: ds.Classes, Seed: seed})
+	}
+	return cluster.Result{}, fmt.Errorf("exp: unknown clustering algorithm %q", algo)
+}
+
+// outlierBudget estimates l for the k-and-l-outliers algorithms from the
+// dataset's injected outlier fractions.
+func outlierBudget(ds *data.Dataset) int {
+	l := ds.DirtyCount() + ds.NaturalCount()
+	if l < 1 {
+		l = ds.N() / 20
+	}
+	return l
+}
+
+func runTable3(cfg Config) (*Result, error) {
+	header := []string{"Data"}
+	for _, a := range clusterAlgos {
+		header = append(header, a+"/Raw", a+"/DISC")
+	}
+	t := Table{Title: "F1-score by clustering algorithm (Raw vs DISC)", Header: header}
+
+	for _, name := range data.NumericTable1Names() {
+		ds, err := data.Table1(name, cfg.scale(table2Scales[name]), cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s: %w", name, err)
+		}
+		cfg.progressf("table3: %s (n=%d)\n", name, ds.N())
+		res, err := core.SaveAll(ds.Rel, core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
+			core.Options{Kappa: discKappa(ds.Name)})
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s: %w", name, err)
+		}
+		row := []string{name}
+		for _, algo := range clusterAlgos {
+			rawRes, err := runClusterAlgo(algo, ds.Rel, ds, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("table3: %s/%s: %w", name, algo, err)
+			}
+			discRes, err := runClusterAlgo(algo, res.Repaired, ds, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("table3: %s/%s: %w", name, algo, err)
+			}
+			row = append(row,
+				fmtF(eval.F1(rawRes.Labels, ds.Labels)),
+				fmtF(eval.F1(discRes.Labels, ds.Labels)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return &Result{Tables: []Table{t}}, nil
+}

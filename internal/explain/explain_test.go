@@ -1,0 +1,125 @@
+package explain
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func inlierCloud(n int, seed int64) *data.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := data.NewRelation(data.NewNumericSchema("a", "b", "c"))
+	for i := 0; i < n; i++ {
+		r.Append(data.Tuple{
+			data.Num(10 + rng.NormFloat64()),
+			data.Num(20 + rng.NormFloat64()),
+			data.Num(30 + rng.NormFloat64()),
+		})
+	}
+	return r
+}
+
+func TestSSEFindsTheSeparatingAttribute(t *testing.T) {
+	r := inlierCloud(300, 1)
+	// Outlier deviates only on attribute 1.
+	outlier := data.Tuple{data.Num(10), data.Num(80), data.Num(30)}
+	mask := SSE(r, outlier, SSEConfig{})
+	if !mask.Has(1) {
+		t.Error("separable attribute 1 not found")
+	}
+	if mask.Has(0) || mask.Has(2) {
+		t.Errorf("non-separable attributes flagged: %b", mask)
+	}
+}
+
+func TestSSEMultiAttributeOutlier(t *testing.T) {
+	r := inlierCloud(300, 2)
+	outlier := data.Tuple{data.Num(-50), data.Num(90), data.Num(-40)}
+	mask := SSE(r, outlier, SSEConfig{})
+	if mask.Count() != 3 {
+		t.Errorf("natural outlier separable on %d attributes, want 3", mask.Count())
+	}
+}
+
+func TestSSEInlierHasNoExplanation(t *testing.T) {
+	r := inlierCloud(300, 3)
+	inlier := data.Tuple{data.Num(10.2), data.Num(19.8), data.Num(30.1)}
+	if mask := SSE(r, inlier, SSEConfig{}); mask != 0 {
+		t.Errorf("inlier explained by %b", mask)
+	}
+}
+
+func TestSSEConstantAttribute(t *testing.T) {
+	r := data.NewRelation(data.NewNumericSchema("k"))
+	for i := 0; i < 50; i++ {
+		r.Append(data.Tuple{data.Num(5)})
+	}
+	if mask := SSE(r, data.Tuple{data.Num(5)}, SSEConfig{}); mask != 0 {
+		t.Error("matching constant flagged")
+	}
+	if mask := SSE(r, data.Tuple{data.Num(6)}, SSEConfig{}); !mask.Has(0) {
+		t.Error("deviating constant not flagged")
+	}
+}
+
+func TestSSETextAttribute(t *testing.T) {
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "zip", Kind: data.Text}}}
+	r := data.NewRelation(s)
+	zips := []string{"97201", "97202", "97203", "97204", "97205"}
+	for i := 0; i < 50; i++ {
+		r.Append(data.Tuple{data.Str(zips[i%len(zips)])})
+	}
+	// A heavily garbled zip separates; a known zip does not.
+	if mask := SSE(r, data.Tuple{data.Str("xx9q!")}, SSEConfig{}); !mask.Has(0) {
+		t.Error("garbled text not separable")
+	}
+	if mask := SSE(r, data.Tuple{data.Str("97203")}, SSEConfig{}); mask != 0 {
+		t.Error("known text flagged")
+	}
+}
+
+func TestDBParamsClusteredDataGivesTinyEps(t *testing.T) {
+	// Two far-apart clusters: the Normal model of pairwise distances is
+	// mis-specified and μ−2σ collapses, so DB picks a tiny ε — the
+	// Table 4 failure mode.
+	rng := rand.New(rand.NewSource(4))
+	r := data.NewRelation(data.NewNumericSchema("x", "y"))
+	for i := 0; i < 400; i++ {
+		c := float64(i%2) * 100
+		r.Append(data.Tuple{data.Num(c + rng.NormFloat64()), data.Num(c + rng.NormFloat64())})
+	}
+	eps, eta := DBParams(r, DBParamOptions{Seed: 1})
+	if eps <= 0 {
+		t.Fatalf("ε = %v", eps)
+	}
+	// Within-cluster scale is ~1.4; DB's ε should be several times the
+	// useful threshold or collapse below it — here the bimodal distances
+	// (≈2 and ≈141) give μ≈70, σ≈70, so ε ≈ 0.05·μ ≈ 3.5 ≪ 100.
+	if eps > 20 {
+		t.Errorf("ε = %v, want the collapsed small value", eps)
+	}
+	if eta != 1 {
+		t.Errorf("η = %d, want ⌈0.0012·400⌉ = 1", eta)
+	}
+}
+
+func TestDBParamsEtaScalesWithN(t *testing.T) {
+	r := inlierCloud(300, 5)
+	_, eta := DBParams(r, DBParamOptions{OutlierFraction: 0.0012, Seed: 1})
+	if eta != 1 {
+		t.Errorf("η = %d for n=300", eta)
+	}
+	_, eta2 := DBParams(r, DBParamOptions{OutlierFraction: 0.1, Seed: 1})
+	if eta2 != 30 {
+		t.Errorf("η = %d for π=0.1, n=300, want 30", eta2)
+	}
+}
+
+func TestDBParamsDegenerate(t *testing.T) {
+	r := data.NewRelation(data.NewNumericSchema("x"))
+	eps, eta := DBParams(r, DBParamOptions{})
+	if eps <= 0 || eta < 1 {
+		t.Errorf("degenerate params %v/%d", eps, eta)
+	}
+}

@@ -1,0 +1,116 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func textSchema() *data.Schema {
+	return &data.Schema{Attrs: []data.Attribute{
+		{Name: "name", Kind: data.Text},
+		{Name: "city", Kind: data.Text},
+	}}
+}
+
+func TestSimilarAllAttributesMustPass(t *testing.T) {
+	s := textSchema()
+	a := data.Tuple{data.Str("arnie morton's of chicago"), data.Str("los angeles")}
+	b := data.Tuple{data.Str("arnie morton's of chicago"), data.Str("los angeles")}
+	if !Similar(s, a, b, Config{}) {
+		t.Error("identical tuples should match")
+	}
+	c := data.Tuple{data.Str("arnie morton's of chicago"), data.Str("new york")}
+	if Similar(s, a, c, Config{}) {
+		t.Error("different city should block the match")
+	}
+	d := data.Tuple{data.Str("arnie mortons of chicago"), data.Str("los angeles")}
+	if !Similar(s, a, d, Config{}) {
+		t.Error("tiny format variation should still match at 0.7")
+	}
+}
+
+func TestMatchFindsDuplicatePairs(t *testing.T) {
+	s := textSchema()
+	rel := data.NewRelation(s)
+	rel.Append(data.Tuple{data.Str("golden dragon"), data.Str("chicago")})
+	rel.Append(data.Tuple{data.Str("golden dragon"), data.Str("chicago")}) // dup of 0
+	rel.Append(data.Tuple{data.Str("blue bistro"), data.Str("boston")})
+	pairs := Match(rel, Config{})
+	if len(pairs) != 1 || pairs[0] != (Pair{I: 0, J: 1}) {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestScore(t *testing.T) {
+	// Truth: {0,1} duplicates, {2,3} duplicates, 4 unique.
+	labels := []int{0, 0, 1, 1, 2}
+	pred := []Pair{{I: 0, J: 1}, {I: 2, J: 4}}
+	p, r, f1 := Score(pred, labels)
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if math.Abs(f1-0.5) > 1e-12 {
+		t.Errorf("f1 = %v", f1)
+	}
+	// Perfect prediction.
+	_, _, pf := Score([]Pair{{I: 0, J: 1}, {I: 2, J: 3}}, labels)
+	if pf != 1 {
+		t.Errorf("perfect f1 = %v", pf)
+	}
+	// Empty prediction.
+	p0, r0, f0 := Score(nil, labels)
+	if p0 != 0 || r0 != 0 || f0 != 0 {
+		t.Error("empty prediction should score 0")
+	}
+	// Negative labels never form truth pairs.
+	_, rn, _ := Score(nil, []int{-1, -1})
+	if rn != 0 {
+		t.Error("negative labels created truth pairs")
+	}
+}
+
+func TestTypoBreaksMatchingAndRepairRestoresIt(t *testing.T) {
+	// The Figure 8 story: typos in one attribute break a duplicate pair;
+	// repairing the value restores it.
+	s := textSchema()
+	rel := data.NewRelation(s)
+	rel.Append(data.Tuple{data.Str("royal palace"), data.Str("seattle")})
+	rel.Append(data.Tuple{data.Str("rqyxl pzlace"), data.Str("seattle")}) // heavy typos
+	labels := []int{0, 0}
+	_, _, before := Score(Match(rel, Config{}), labels)
+	if before != 0 {
+		t.Fatalf("typo pair matched anyway: %v", before)
+	}
+	rel.Tuples[1][0] = data.Str("royal palace")
+	_, _, after := Score(Match(rel, Config{}), labels)
+	if after != 1 {
+		t.Fatalf("repaired pair did not match: %v", after)
+	}
+}
+
+func TestNumericAttributesCompareAsStrings(t *testing.T) {
+	s := data.NewNumericSchema("zip")
+	a := data.Tuple{data.Num(97201)}
+	b := data.Tuple{data.Num(97201)}
+	if !Similar(s, a, b, Config{}) {
+		t.Error("equal numerics should match")
+	}
+	c := data.Tuple{data.Num(10001)}
+	if Similar(s, a, c, Config{}) {
+		t.Error("distant numerics should not match")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := textSchema()
+	a := data.Tuple{data.Str("x"), data.Str("y")}
+	// Invalid config values fall back to defaults without panicking.
+	if !Similar(s, a, a, Config{Threshold: -1, N: 0}) {
+		t.Error("defaults broken")
+	}
+}

@@ -1,0 +1,83 @@
+package metric
+
+import "math"
+
+// Norm identifies the Lp aggregation of per-attribute distances into a
+// multi-attribute distance (paper §2.1.1, Formula 1). The paper's default is
+// L2 (Euclidean length of the per-attribute distance vector).
+type Norm uint8
+
+const (
+	// L2 is the Euclidean norm, the paper's default.
+	L2 Norm = iota
+	// L1 is the sum of per-attribute distances.
+	L1
+	// LInf is the maximum per-attribute distance.
+	LInf
+)
+
+// String returns the conventional name of the norm.
+func (n Norm) String() string {
+	switch n {
+	case L2:
+		return "L2"
+	case L1:
+		return "L1"
+	case LInf:
+		return "Linf"
+	default:
+		return "L?"
+	}
+}
+
+// Aggregate folds the per-attribute distances ds into a single distance.
+// All three norms preserve the metric axioms of the inputs and are monotone
+// in the attribute set, as required by the bounds in §3 of the paper.
+func (n Norm) Aggregate(ds []float64) float64 {
+	switch n {
+	case L1:
+		s := 0.0
+		for _, d := range ds {
+			s += d
+		}
+		return s
+	case LInf:
+		m := 0.0
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for _, d := range ds {
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Accumulate adds one per-attribute distance d into a running accumulator
+// acc and returns the new accumulator. Finish converts the accumulator to
+// the final distance. Splitting the fold this way lets hot loops aggregate
+// without allocating a slice.
+func (n Norm) Accumulate(acc, d float64) float64 {
+	switch n {
+	case L1:
+		return acc + d
+	case LInf:
+		return math.Max(acc, d)
+	default:
+		return acc + d*d
+	}
+}
+
+// Finish converts a running accumulator produced by Accumulate into the
+// final aggregated distance.
+func (n Norm) Finish(acc float64) float64 {
+	if n == L2 {
+		return math.Sqrt(acc)
+	}
+	return acc
+}

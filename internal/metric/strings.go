@@ -1,0 +1,122 @@
+package metric
+
+// Additional string measures used by record linkage: the
+// Damerau–Levenshtein distance (typos are often transpositions) and the
+// Jaro–Winkler similarity (the classic merge/purge measure). Both are for
+// matching; only Levenshtein and Needleman–Wunsch satisfy the full metric
+// axioms the DISC distance constraints require.
+
+// DamerauLevenshtein returns the optimal-string-alignment distance: unit
+// insertions, deletions, substitutions, plus unit transposition of two
+// adjacent characters. Note: the OSA variant does not satisfy the triangle
+// inequality (e.g. d("ca","abc")), so use it for similarity ranking, not
+// as a DISC attribute distance.
+func DamerauLevenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return float64(lb)
+	}
+	if lb == 0 {
+		return float64(la)
+	}
+	// Three-row dynamic program (previous-previous, previous, current).
+	pp := make([]int, lb+1)
+	p := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		p[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			best := min3(p[j]+1, cur[j-1]+1, p[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := pp[j-2] + 1; t < best {
+					best = t
+				}
+			}
+			cur[j] = best
+		}
+		pp, p, cur = p, cur, pp
+	}
+	return float64(p[lb])
+}
+
+// JaroSimilarity returns the Jaro similarity of a and b in [0, 1].
+func JaroSimilarity(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity: Jaro boosted by up to
+// 4 characters of common prefix with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := JaroSimilarity(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}

@@ -1,0 +1,76 @@
+package metric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "ab", 2},
+		{"abc", "abc", 0},
+		{"abc", "acb", 1}, // one transposition, 2 under plain Levenshtein
+		{"ca", "ac", 1},
+		{"kitten", "sitting", 3},
+		{"restuarant", "restaurant", 1}, // the classic typo
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DL(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := DamerauLevenshtein(c.b, c.a); got != c.want {
+			t.Errorf("DL symmetry broken for %q,%q", c.a, c.b)
+		}
+	}
+	// Transpositions make it ≤ Levenshtein everywhere.
+	pairs := [][2]string{{"abcd", "badc"}, {"hello", "ehllo"}, {"golang", "oglang"}}
+	for _, p := range pairs {
+		if DamerauLevenshtein(p[0], p[1]) > Levenshtein(p[0], p[1]) {
+			t.Errorf("DL(%q,%q) above Levenshtein", p[0], p[1])
+		}
+	}
+}
+
+func TestJaroSimilarity(t *testing.T) {
+	if got := JaroSimilarity("martha", "martha"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	// Classic textbook value: jaro(MARTHA, MARHTA) = 0.944…
+	if got := JaroSimilarity("martha", "marhta"); math.Abs(got-0.9444444) > 1e-6 {
+		t.Errorf("martha/marhta = %v, want 0.9444", got)
+	}
+	if got := JaroSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	if got := JaroSimilarity("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := JaroSimilarity("a", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// Classic textbook value: jw(MARTHA, MARHTA) = 0.961…
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.9611111) > 1e-6 {
+		t.Errorf("martha/marhta = %v, want 0.9611", got)
+	}
+	// Prefix boost: common-prefix pair scores above its plain Jaro.
+	a, b := "prefixed", "prefixes"
+	if JaroWinkler(a, b) <= JaroSimilarity(a, b) {
+		t.Error("prefix boost missing")
+	}
+	// Bounded by 1.
+	if got := JaroWinkler("aaaa", "aaaa"); got != 1 {
+		t.Errorf("identical jw = %v", got)
+	}
+	// Symmetry.
+	if JaroWinkler("dwayne", "duane") != JaroWinkler("duane", "dwayne") {
+		t.Error("jw not symmetric")
+	}
+}

@@ -1,0 +1,201 @@
+package neighbors
+
+import (
+	"math"
+
+	"repro/internal/data"
+)
+
+// Grid is a uniform hash grid over numeric attributes with cell size equal
+// to the query radius hint. A range query with radius ≤ cell visits the
+// 3^m surrounding cells, so the grid suits m ≤ 6 (GPS and Flight have
+// m = 3). Radii larger than the cell size widen the visited cube
+// accordingly, so correctness never depends on the hint.
+type Grid struct {
+	r     *data.Relation
+	cell  float64
+	cells map[string][]int
+	m     int
+}
+
+// NewGrid indexes the relation with the given cell size (clamped to a small
+// positive value). It panics on non-numeric schemas, which would be a
+// programming error — Build routes those to the VP-tree.
+func NewGrid(r *data.Relation, cell float64) *Grid {
+	for _, a := range r.Schema.Attrs {
+		if a.Kind != data.Numeric {
+			panic("neighbors: grid index requires an all-numeric schema")
+		}
+	}
+	if cell <= 0 {
+		cell = 1
+	}
+	g := &Grid{r: r, cell: cell, cells: make(map[string][]int), m: r.Schema.M()}
+	for i, t := range r.Tuples {
+		k := g.key(t)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+// Rel returns the indexed relation.
+func (g *Grid) Rel() *data.Relation { return g.r }
+
+// coord returns the scaled grid coordinate of attribute a of tuple t; the
+// grid must bucket by the same scaled units the distance uses.
+func (g *Grid) coord(t data.Tuple, a int) int {
+	v := t[a].Num
+	if s := g.r.Schema.Attrs[a].Scale; s > 0 {
+		v /= s
+	}
+	return int(math.Floor(v / g.cell))
+}
+
+func (g *Grid) key(t data.Tuple) string {
+	// Fixed-width little-endian encoding of the coordinates; strings make
+	// cheap map keys without a 64-bit hash collision analysis.
+	b := make([]byte, 0, g.m*8)
+	for a := 0; a < g.m; a++ {
+		c := uint64(int64(g.coord(t, a)))
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(c>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// visit walks every cell within reach cells of q's cell in each dimension
+// and calls fn with the tuple indexes stored there. fn returns false to
+// stop early.
+func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
+	base := make([]int, g.m)
+	for a := 0; a < g.m; a++ {
+		base[a] = g.coord(q, a)
+	}
+	off := make([]int, g.m)
+	for a := range off {
+		off[a] = -reach
+	}
+	for {
+		b := make([]byte, 0, g.m*8)
+		for a := 0; a < g.m; a++ {
+			c := uint64(int64(base[a] + off[a]))
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(c>>uint(s)))
+			}
+		}
+		if idx, ok := g.cells[string(b)]; ok {
+			if !fn(idx) {
+				return
+			}
+		}
+		// Odometer increment over off ∈ [-reach, reach]^m.
+		a := 0
+		for ; a < g.m; a++ {
+			off[a]++
+			if off[a] <= reach {
+				break
+			}
+			off[a] = -reach
+		}
+		if a == g.m {
+			return
+		}
+	}
+}
+
+// tooWide reports whether a query radius spans so many cells that the
+// odometer walk would visit more cells than a brute scan costs.
+func (g *Grid) tooWide(reach int) bool {
+	cells := 1.0
+	for a := 0; a < g.m; a++ {
+		cells *= float64(2*reach + 1)
+		if cells > float64(g.r.N())+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Within implements Index.
+func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	reach := int(math.Ceil(eps/g.cell)) + 1
+	if g.tooWide(reach) {
+		return NewBrute(g.r).Within(q, eps, skip)
+	}
+	var out []Neighbor
+	g.visit(q, reach, func(idx []int) bool {
+		for _, i := range idx {
+			if i == skip {
+				continue
+			}
+			if d := g.r.Schema.Dist(q, g.r.Tuples[i]); d <= eps {
+				out = append(out, Neighbor{Idx: i, Dist: d})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// CountWithin implements Index.
+func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	reach := int(math.Ceil(eps/g.cell)) + 1
+	if g.tooWide(reach) {
+		return NewBrute(g.r).CountWithin(q, eps, skip, cap)
+	}
+	c := 0
+	g.visit(q, reach, func(idx []int) bool {
+		for _, i := range idx {
+			if i == skip {
+				continue
+			}
+			if g.r.Schema.Dist(q, g.r.Tuples[i]) <= eps {
+				c++
+				if cap > 0 && c >= cap {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return c
+}
+
+// KNN implements Index by expanding the search radius geometrically until k
+// results fit inside it, which keeps the visited cube small for clustered
+// data.
+func (g *Grid) KNN(q data.Tuple, k, skip int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	n := g.r.N()
+	if skip >= 0 && skip < n {
+		n--
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return nil
+	}
+	radius := g.cell
+	for {
+		found := g.Within(q, radius, skip)
+		if len(found) >= k {
+			// Heap-select the k nearest; the candidate set can be far
+			// larger than k when the radius overshoots.
+			h := newMaxHeap(k)
+			for _, nb := range found {
+				h.offer(nb)
+			}
+			return h.sorted()
+		}
+		radius *= 2
+		// Beyond any plausible data diameter, fall back to a full scan to
+		// guarantee termination on pathological distributions.
+		if radius > g.cell*float64(1<<30) {
+			return NewBrute(g.r).KNN(q, k, skip)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// KDTree is a balanced k-d tree over numeric attributes — the classic
+// low-to-mid-dimensional index complementing the grid (fixed cell size)
+// and the VP-tree (general metric). Splitting cycles through the widest-
+// spread attribute at each level; leaves hold small buckets.
+type KDTree struct {
+	r      *data.Relation
+	m      int
+	scales []float64
+	nodes  []kdNode
+	// points holds tuple indexes, partitioned in place during the build
+	// so every node owns a contiguous range.
+	points []int
+	root   int
+}
+
+type kdNode struct {
+	// attr < 0 marks a leaf holding points[lo:hi].
+	attr        int
+	split       float64
+	left, right int
+	lo, hi      int
+}
+
+const kdLeafSize = 16
+
+// NewKDTree builds the tree; it panics on non-numeric schemas (route
+// those to the VP-tree), matching the grid's contract.
+func NewKDTree(r *data.Relation) *KDTree {
+	for _, a := range r.Schema.Attrs {
+		if a.Kind != data.Numeric {
+			panic("neighbors: kd-tree requires an all-numeric schema")
+		}
+	}
+	m := r.Schema.M()
+	t := &KDTree{r: r, m: m, scales: make([]float64, m), root: -1}
+	for a := 0; a < m; a++ {
+		if s := r.Schema.Attrs[a].Scale; s > 0 {
+			t.scales[a] = 1 / s
+		} else {
+			t.scales[a] = 1
+		}
+	}
+	if r.N() == 0 {
+		return t
+	}
+	t.points = make([]int, r.N())
+	for i := range t.points {
+		t.points[i] = i
+	}
+	t.root = t.build(0, r.N())
+	return t
+}
+
+func (t *KDTree) coord(i, a int) float64 {
+	return t.r.Tuples[i][a].Num * t.scales[a]
+}
+
+func (t *KDTree) build(lo, hi int) int {
+	id := len(t.nodes)
+	if hi-lo <= kdLeafSize {
+		t.nodes = append(t.nodes, kdNode{attr: -1, lo: lo, hi: hi, left: -1, right: -1})
+		return id
+	}
+	// Split on the widest-spread attribute.
+	best, bestSpread := 0, -1.0
+	for a := 0; a < t.m; a++ {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, i := range t.points[lo:hi] {
+			v := t.coord(i, a)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if s := mx - mn; s > bestSpread {
+			best, bestSpread = a, s
+		}
+	}
+	if bestSpread == 0 {
+		// All points identical on every attribute: keep as a leaf.
+		t.nodes = append(t.nodes, kdNode{attr: -1, lo: lo, hi: hi, left: -1, right: -1})
+		return id
+	}
+	seg := t.points[lo:hi]
+	sort.Slice(seg, func(x, y int) bool { return t.coord(seg[x], best) < t.coord(seg[y], best) })
+	mid := lo + (hi-lo)/2
+	// Keep equal keys on one side so the split value truly separates.
+	for mid > lo+1 && t.coord(t.points[mid], best) == t.coord(t.points[mid-1], best) {
+		mid--
+	}
+	split := t.coord(t.points[mid], best)
+	t.nodes = append(t.nodes, kdNode{attr: best})
+	l := t.build(lo, mid)
+	r := t.build(mid, hi)
+	n := &t.nodes[id]
+	n.split = split
+	n.left = l
+	n.right = r
+	return id
+}
+
+// Rel returns the indexed relation.
+func (t *KDTree) Rel() *data.Relation { return t.r }
+
+// Within implements Index.
+func (t *KDTree) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	var out []Neighbor
+	t.rangeSearch(t.root, q, eps, skip, func(n Neighbor) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// CountWithin implements Index.
+func (t *KDTree) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	c := 0
+	t.rangeSearch(t.root, q, eps, skip, func(Neighbor) bool {
+		c++
+		return cap <= 0 || c < cap
+	})
+	return c
+}
+
+func (t *KDTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit func(Neighbor) bool) bool {
+	if id < 0 {
+		return true
+	}
+	n := &t.nodes[id]
+	if n.attr < 0 {
+		for _, i := range t.points[n.lo:n.hi] {
+			if i == skip {
+				continue
+			}
+			if d := t.r.Schema.Dist(q, t.r.Tuples[i]); d <= eps {
+				if !emit(Neighbor{Idx: i, Dist: d}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	qa := q[n.attr].Num * t.scales[n.attr]
+	// The search ball can only reach across the split plane within eps
+	// (L2/L1 per-attribute distances are bounded below by the coordinate
+	// gap; L∞ likewise).
+	if qa-eps < n.split {
+		if !t.rangeSearch(n.left, q, eps, skip, emit) {
+			return false
+		}
+	}
+	if qa+eps >= n.split {
+		if !t.rangeSearch(n.right, q, eps, skip, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// KNN implements Index.
+func (t *KDTree) KNN(q data.Tuple, k, skip int) []Neighbor {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := newMaxHeap(k)
+	t.knnSearch(t.root, q, skip, h)
+	return h.sorted()
+}
+
+func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
+	n := &t.nodes[id]
+	if n.attr < 0 {
+		for _, i := range t.points[n.lo:n.hi] {
+			if i == skip {
+				continue
+			}
+			h.offer(Neighbor{Idx: i, Dist: t.r.Schema.Dist(q, t.r.Tuples[i])})
+		}
+		return
+	}
+	qa := q[n.attr].Num * t.scales[n.attr]
+	near, far := n.left, n.right
+	if qa >= n.split {
+		near, far = n.right, n.left
+	}
+	t.knnSearch(near, q, skip, h)
+	bound, full := h.bound()
+	if !full || math.Abs(qa-n.split) <= bound {
+		t.knnSearch(far, q, skip, h)
+	}
+}

@@ -1,0 +1,111 @@
+package neighbors
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestKDTreeAgreesWithBrute(t *testing.T) {
+	r := randomRelation(500, 4, 31)
+	brute := NewBrute(r)
+	kd := NewKDTree(r)
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		q := make(data.Tuple, 4)
+		for a := range q {
+			q[a] = data.Num(rng.Float64() * 10)
+		}
+		eps := 0.3 + rng.Float64()*3
+		skip := -1
+		if trial%4 == 0 {
+			skip = rng.Intn(r.N())
+		}
+		sameNeighborSet(t, "kd.Within", kd.Within(q, eps, skip), brute.Within(q, eps, skip))
+		if got, want := kd.CountWithin(q, eps, skip, 0), brute.CountWithin(q, eps, skip, 0); got != want {
+			t.Fatalf("kd.CountWithin = %d, want %d", got, want)
+		}
+		k := 1 + rng.Intn(12)
+		gotK := kd.KNN(q, k, skip)
+		wantK := brute.KNN(q, k, skip)
+		if len(gotK) != len(wantK) {
+			t.Fatalf("kd.KNN size %d, want %d", len(gotK), len(wantK))
+		}
+		for i := range gotK {
+			if diff := gotK[i].Dist - wantK[i].Dist; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("kd.KNN[%d] = %v, want %v", i, gotK[i].Dist, wantK[i].Dist)
+			}
+		}
+	}
+}
+
+func TestKDTreeRespectsScale(t *testing.T) {
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "t", Kind: data.Numeric, Scale: 100}}}
+	r := data.NewRelation(s)
+	for i := 0; i < 20; i++ {
+		r.Append(data.Tuple{data.Num(float64(i) * 100)})
+	}
+	kd := NewKDTree(r)
+	ns := kd.Within(r.Tuples[10], 1.0, 10)
+	if len(ns) != 2 {
+		t.Fatalf("scaled kd-tree found %d neighbors, want 2", len(ns))
+	}
+}
+
+func TestKDTreeEarlyExit(t *testing.T) {
+	r := randomRelation(300, 3, 33)
+	kd := NewKDTree(r)
+	if got := kd.CountWithin(r.Tuples[0], 100, -1, 9); got != 9 {
+		t.Errorf("early exit returned %d", got)
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	// Many identical points stress the equal-key split handling.
+	r := data.NewRelation(data.NewNumericSchema("x", "y"))
+	for i := 0; i < 100; i++ {
+		r.Append(data.Tuple{data.Num(1), data.Num(2)})
+	}
+	for i := 0; i < 50; i++ {
+		r.Append(data.Tuple{data.Num(5), data.Num(6)})
+	}
+	kd := NewKDTree(r)
+	if got := kd.CountWithin(data.Tuple{data.Num(1), data.Num(2)}, 0.5, -1, 0); got != 100 {
+		t.Errorf("found %d duplicates, want 100", got)
+	}
+	nn := kd.KNN(data.Tuple{data.Num(5), data.Num(6)}, 60, -1)
+	if len(nn) != 60 {
+		t.Fatalf("KNN returned %d", len(nn))
+	}
+	if nn[49].Dist != 0 || nn[50].Dist == 0 {
+		t.Error("duplicate distances wrong")
+	}
+}
+
+func TestKDTreeEmptyAndTextPanic(t *testing.T) {
+	empty := data.NewRelation(data.NewNumericSchema("x"))
+	kd := NewKDTree(empty)
+	if got := kd.Within(data.Tuple{data.Num(0)}, 1, -1); len(got) != 0 {
+		t.Error("empty tree returned neighbors")
+	}
+	if got := kd.KNN(data.Tuple{data.Num(0)}, 3, -1); len(got) != 0 {
+		t.Error("empty tree KNN returned neighbors")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kd-tree should panic on text schema")
+		}
+	}()
+	s := &data.Schema{Attrs: []data.Attribute{{Name: "w", Kind: data.Text}}}
+	NewKDTree(data.NewRelation(s))
+}
+
+func BenchmarkKDTreeWithin(b *testing.B) {
+	r := randomRelation(10000, 3, 1)
+	kd := NewKDTree(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kd.Within(r.Tuples[i%r.N()], 1.5, i%r.N())
+	}
+}

@@ -1,0 +1,186 @@
+// Package neighbors provides ε-neighbor and k-nearest-neighbor search over
+// relations (Formula 4 of the paper): a brute-force scan that works for any
+// schema, a grid index for low-dimensional numeric data (the GPS/Flight
+// style datasets), and a vantage-point tree that exploits the triangle
+// inequality of the distance functions (§2.1.1) for any metric schema,
+// including textual edit distances.
+package neighbors
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Neighbor is one search result: a tuple index in the indexed relation and
+// its distance to the query.
+type Neighbor struct {
+	Idx  int
+	Dist float64
+}
+
+// Index answers ε-range and k-NN queries against a fixed relation.
+// The skip argument excludes one tuple index from the results (pass -1 to
+// keep all); the paper's |r_ε(t)| never counts t itself.
+type Index interface {
+	// Within returns all tuples with Δ(q, t) ≤ eps, in arbitrary order.
+	Within(q data.Tuple, eps float64, skip int) []Neighbor
+	// CountWithin counts tuples with Δ(q, t) ≤ eps, stopping early once
+	// the count reaches cap (cap ≤ 0 disables the early exit).
+	CountWithin(q data.Tuple, eps float64, skip, cap int) int
+	// KNN returns the k nearest tuples sorted by ascending distance
+	// (fewer if the relation is smaller).
+	KNN(q data.Tuple, k, skip int) []Neighbor
+	// Rel returns the indexed relation.
+	Rel() *data.Relation
+}
+
+// Build picks an index for the relation: a grid when the schema is fully
+// numeric with at most six attributes (range queries touch 3^m cells), a
+// VP-tree otherwise. eps hints the grid cell size; it must be > 0 for the
+// grid path.
+func Build(r *data.Relation, eps float64) Index {
+	numeric := true
+	for _, a := range r.Schema.Attrs {
+		if a.Kind != data.Numeric {
+			numeric = false
+			break
+		}
+	}
+	if numeric && r.Schema.M() <= 6 && eps > 0 && r.Schema.Norm == 0 {
+		return NewGrid(r, eps)
+	}
+	if r.N() >= 64 {
+		return NewVPTree(r, 1)
+	}
+	return NewBrute(r)
+}
+
+// Brute is the exhaustive-scan index; it is the correctness reference for
+// the other implementations.
+type Brute struct {
+	r *data.Relation
+}
+
+// NewBrute indexes r by keeping a reference to it.
+func NewBrute(r *data.Relation) *Brute { return &Brute{r: r} }
+
+// Rel returns the indexed relation.
+func (b *Brute) Rel() *data.Relation { return b.r }
+
+// Within implements Index.
+func (b *Brute) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	var out []Neighbor
+	for i, t := range b.r.Tuples {
+		if i == skip {
+			continue
+		}
+		if d := b.r.Schema.Dist(q, t); d <= eps {
+			out = append(out, Neighbor{Idx: i, Dist: d})
+		}
+	}
+	return out
+}
+
+// CountWithin implements Index.
+func (b *Brute) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	c := 0
+	for i, t := range b.r.Tuples {
+		if i == skip {
+			continue
+		}
+		if b.r.Schema.Dist(q, t) <= eps {
+			c++
+			if cap > 0 && c >= cap {
+				return c
+			}
+		}
+	}
+	return c
+}
+
+// KNN implements Index.
+func (b *Brute) KNN(q data.Tuple, k, skip int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := newMaxHeap(k)
+	for i, t := range b.r.Tuples {
+		if i == skip {
+			continue
+		}
+		h.offer(Neighbor{Idx: i, Dist: b.r.Schema.Dist(q, t)})
+	}
+	return h.sorted()
+}
+
+// maxHeap keeps the k smallest-distance neighbors seen so far, with the
+// current worst at the root.
+type maxHeap struct {
+	k  int
+	ns []Neighbor
+}
+
+func newMaxHeap(k int) *maxHeap { return &maxHeap{k: k, ns: make([]Neighbor, 0, k)} }
+
+// bound returns the current k-th distance, or +Inf semantics via ok=false
+// when fewer than k neighbors are held.
+func (h *maxHeap) bound() (float64, bool) {
+	if len(h.ns) < h.k {
+		return 0, false
+	}
+	return h.ns[0].Dist, true
+}
+
+func (h *maxHeap) offer(n Neighbor) {
+	if len(h.ns) < h.k {
+		h.ns = append(h.ns, n)
+		h.up(len(h.ns) - 1)
+		return
+	}
+	if n.Dist >= h.ns[0].Dist {
+		return
+	}
+	h.ns[0] = n
+	h.down(0)
+}
+
+func (h *maxHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ns[p].Dist >= h.ns[i].Dist {
+			break
+		}
+		h.ns[p], h.ns[i] = h.ns[i], h.ns[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.ns) && h.ns[l].Dist > h.ns[big].Dist {
+			big = l
+		}
+		if r < len(h.ns) && h.ns[r].Dist > h.ns[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.ns[i], h.ns[big] = h.ns[big], h.ns[i]
+		i = big
+	}
+}
+
+func (h *maxHeap) sorted() []Neighbor {
+	out := append([]Neighbor(nil), h.ns...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}

@@ -1,0 +1,202 @@
+package neighbors
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// VPTree is a vantage-point tree: a metric-space index that only relies on
+// the triangle inequality, so it serves the 16-attribute Letter data and
+// the textual Restaurant data equally. Build is O(n log n) distance
+// computations; range and k-NN queries prune subtrees whose distance
+// interval cannot intersect the query ball.
+type VPTree struct {
+	r     *data.Relation
+	nodes []vpNode
+	root  int
+}
+
+type vpNode struct {
+	idx         int     // tuple index of the vantage point
+	radius      float64 // median distance separating inside/outside
+	inside      int     // node id of the ≤ radius subtree (-1 none)
+	outside     int     // node id of the > radius subtree (-1 none)
+	maxInside   float64 // max distance to vantage point within inside subtree
+	minOutside  float64 // min distance to vantage point within outside subtree
+	subtreeSize int
+}
+
+// NewVPTree builds the tree over r; seed drives vantage-point selection.
+func NewVPTree(r *data.Relation, seed int64) *VPTree {
+	t := &VPTree{r: r, root: -1}
+	if r.N() == 0 {
+		return t
+	}
+	idx := make([]int, r.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.nodes = make([]vpNode, 0, r.N())
+	t.root = t.build(idx, rng)
+	return t
+}
+
+// Rel returns the indexed relation.
+func (t *VPTree) Rel() *data.Relation { return t.r }
+
+type distItem struct {
+	idx  int
+	dist float64
+}
+
+func (t *VPTree) build(idx []int, rng *rand.Rand) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	// Pick a vantage point at random and move it out of the working set.
+	p := rng.Intn(len(idx))
+	vp := idx[p]
+	idx[p] = idx[len(idx)-1]
+	rest := idx[:len(idx)-1]
+
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, vpNode{idx: vp, inside: -1, outside: -1, subtreeSize: len(idx)})
+	if len(rest) == 0 {
+		return id
+	}
+
+	items := make([]distItem, len(rest))
+	for i, j := range rest {
+		items[i] = distItem{idx: j, dist: t.r.Schema.Dist(t.r.Tuples[vp], t.r.Tuples[j])}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].dist < items[j].dist })
+	mid := len(items) / 2
+	radius := items[mid].dist
+
+	insideIdx := make([]int, 0, mid+1)
+	outsideIdx := make([]int, 0, len(items)-mid)
+	maxIn, minOut := 0.0, math.Inf(1)
+	for _, it := range items {
+		if it.dist <= radius {
+			insideIdx = append(insideIdx, it.idx)
+			if it.dist > maxIn {
+				maxIn = it.dist
+			}
+		} else {
+			outsideIdx = append(outsideIdx, it.idx)
+			if it.dist < minOut {
+				minOut = it.dist
+			}
+		}
+	}
+	in := t.build(insideIdx, rng)
+	out := t.build(outsideIdx, rng)
+	n := &t.nodes[id]
+	n.radius = radius
+	n.inside = in
+	n.outside = out
+	n.maxInside = maxIn
+	n.minOutside = minOut
+	return id
+}
+
+// Within implements Index.
+func (t *VPTree) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	var out []Neighbor
+	t.rangeSearch(t.root, q, eps, skip, func(n Neighbor) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// CountWithin implements Index.
+func (t *VPTree) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	c := 0
+	t.rangeSearch(t.root, q, eps, skip, func(Neighbor) bool {
+		c++
+		return cap <= 0 || c < cap
+	})
+	return c
+}
+
+// rangeSearch visits every tuple within eps of q; emit returns false to
+// abort the traversal.
+func (t *VPTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit func(Neighbor) bool) bool {
+	if id < 0 {
+		return true
+	}
+	n := &t.nodes[id]
+	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
+	if d <= eps && n.idx != skip {
+		if !emit(Neighbor{Idx: n.idx, Dist: d}) {
+			return false
+		}
+	}
+	// Triangle inequality: any point p in the inside subtree has
+	// |d − Δ(vp,p)| ≤ Δ(q,p), with Δ(vp,p) ≤ maxInside; the inside subtree
+	// can contain matches only if d − eps ≤ maxInside. Symmetrically for
+	// the outside subtree with Δ(vp,p) ≥ minOutside.
+	if n.inside >= 0 && d-eps <= n.maxInside {
+		if !t.rangeSearch(n.inside, q, eps, skip, emit) {
+			return false
+		}
+	}
+	if n.outside >= 0 && d+eps >= n.minOutside {
+		if !t.rangeSearch(n.outside, q, eps, skip, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// KNN implements Index.
+func (t *VPTree) KNN(q data.Tuple, k, skip int) []Neighbor {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := newMaxHeap(k)
+	t.knnSearch(t.root, q, skip, h)
+	return h.sorted()
+}
+
+func (t *VPTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
+	if id < 0 {
+		return
+	}
+	n := &t.nodes[id]
+	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
+	if n.idx != skip {
+		h.offer(Neighbor{Idx: n.idx, Dist: d})
+	}
+	bound, full := h.bound()
+	if !full {
+		bound = math.Inf(1)
+	}
+	// Descend the more promising side first so the bound tightens early.
+	if d <= n.radius {
+		if n.inside >= 0 && d-bound <= n.maxInside {
+			t.knnSearch(n.inside, q, skip, h)
+		}
+		if bound, full = h.bound(); !full {
+			bound = math.Inf(1)
+		}
+		if n.outside >= 0 && d+bound >= n.minOutside {
+			t.knnSearch(n.outside, q, skip, h)
+		}
+	} else {
+		if n.outside >= 0 && d+bound >= n.minOutside {
+			t.knnSearch(n.outside, q, skip, h)
+		}
+		if bound, full = h.bound(); !full {
+			bound = math.Inf(1)
+		}
+		if n.inside >= 0 && d-bound <= n.maxInside {
+			t.knnSearch(n.inside, q, skip, h)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package stats provides the probability distributions, histograms and
+// sampling utilities behind the DISC distance-constraint model: the Poisson
+// process of ε-neighbor appearance (paper §2.1.2, Formulas 2–3), the Normal
+// model of the DB baseline (Table 4), and the sampled parameter
+// determination of §4.2.2 (Figure 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Poisson is a Poisson distribution with rate Lambda (= λε in the paper).
+type Poisson struct {
+	Lambda float64
+}
+
+// PMF returns p(N = k) = λ^k e^{-λ} / k! (Formula 2). Computed in log space
+// for numerical stability at large λ.
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if p.Lambda <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	logp := float64(k)*math.Log(p.Lambda) - p.Lambda - lgamma(float64(k)+1)
+	return math.Exp(logp)
+}
+
+// CDF returns p(N ≤ k).
+func (p Poisson) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i <= k; i++ {
+		s += p.PMF(i)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// TailGE returns p(N ≥ k) = 1 − CDF(k−1), the probability of Formula 3 that
+// a tuple sees at least k ε-neighbors.
+func (p Poisson) TailGE(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 - p.CDF(k-1)
+}
+
+// MaxEtaWithConfidence returns the largest η ≥ 1 such that
+// p(N ≥ η) ≥ conf, i.e. the neighbor threshold that still leaves cluster
+// membership highly probable (the paper selects conf = 0.99). Returns 1 if
+// even η = 1 fails the confidence bar.
+func (p Poisson) MaxEtaWithConfidence(conf float64) int {
+	if conf <= 0 {
+		conf = 0.99
+	}
+	eta := 1
+	// p(N ≥ η) is non-increasing in η, so walk upward until it drops.
+	for k := 1; float64(k) <= p.Lambda+12*math.Sqrt(p.Lambda+1)+4; k++ {
+		if p.TailGE(k) >= conf {
+			eta = k
+		} else {
+			break
+		}
+	}
+	return eta
+}
+
+// Mean returns λ.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Variance returns λ.
+func (p Poisson) Variance() float64 { return p.Lambda }
+
+// Normal is a Gaussian distribution with mean Mu and standard deviation
+// Sigma, used by the DB parameter-determination baseline (Table 4).
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// PDF returns the density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x == n.Mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X ≤ x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile returns the x with CDF(x) = q, via bisection on the CDF.
+func (n Normal) Quantile(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	if n.Sigma <= 0 {
+		return n.Mu
+	}
+	lo, hi := n.Mu-12*n.Sigma, n.Mu+12*n.Sigma
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if n.CDF(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// lgamma returns log Γ(x) for x > 0.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// FitPoisson estimates λ as the sample mean of the observed counts
+// (the MLE). It returns an error when no observations are given.
+func FitPoisson(counts []int) (Poisson, error) {
+	if len(counts) == 0 {
+		return Poisson{}, fmt.Errorf("stats: FitPoisson needs at least one observation")
+	}
+	s := 0.0
+	for _, c := range counts {
+		s += float64(c)
+	}
+	return Poisson{Lambda: s / float64(len(counts))}, nil
+}
+
+// FitNormal estimates μ and σ from the sample (population σ; σ = 0 for
+// fewer than two observations).
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) == 0 {
+		return Normal{}, fmt.Errorf("stats: FitNormal needs at least one observation")
+	}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	return Normal{Mu: m.Mean(), Sigma: m.StdDev()}, nil
+}

@@ -1,0 +1,189 @@
+// Package viz renders experiment tables as ASCII charts so discbench can
+// show the *shape* of each figure (the inverted-U of Figure 4, the
+// blow-ups of Figures 6–7) directly in the terminal.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// barBlocks are the eighth-block characters used for horizontal bars.
+var barBlocks = []rune{' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'}
+
+// Bar renders v within [lo, hi] as a bar of the given width in runes.
+func Bar(v, lo, hi float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	eighths := int(math.Round(frac * float64(width) * 8))
+	full := eighths / 8
+	rem := eighths % 8
+	var sb strings.Builder
+	for i := 0; i < full; i++ {
+		sb.WriteRune('█')
+	}
+	if rem > 0 && full < width {
+		sb.WriteRune(barBlocks[rem])
+	}
+	for sb.Len() < width { // Len counts bytes; pad conservatively below instead
+		break
+	}
+	s := sb.String()
+	pad := width - len([]rune(s))
+	if pad > 0 {
+		s += strings.Repeat(" ", pad)
+	}
+	return s
+}
+
+// Sparkline renders the series as a compact one-line chart.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat("·", len(vals))
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			sb.WriteRune('·')
+			continue
+		}
+		k := int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(levels) {
+			k = len(levels) - 1
+		}
+		sb.WriteRune(levels[k])
+	}
+	return sb.String()
+}
+
+// Series is one named numeric column extracted from a table.
+type Series struct {
+	Name string
+	Vals []float64 // NaN marks missing cells ("-")
+}
+
+// ExtractSeries pulls the numeric columns out of (header, rows): the first
+// column becomes the x labels, every column whose cells parse as floats
+// becomes a Series. Cells of "-" become NaN.
+func ExtractSeries(header []string, rows [][]string) (labels []string, series []Series) {
+	if len(header) == 0 || len(rows) == 0 {
+		return nil, nil
+	}
+	for _, r := range rows {
+		if len(r) > 0 {
+			labels = append(labels, r[0])
+		}
+	}
+	for c := 1; c < len(header); c++ {
+		vals := make([]float64, 0, len(rows))
+		numeric := false
+		for _, r := range rows {
+			if c >= len(r) {
+				vals = append(vals, math.NaN())
+				continue
+			}
+			cell := r[c]
+			if cell == "-" || cell == "" {
+				vals = append(vals, math.NaN())
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				vals = nil
+				break
+			}
+			vals = append(vals, v)
+			numeric = true
+		}
+		if vals != nil && numeric {
+			series = append(series, Series{Name: header[c], Vals: vals})
+		}
+	}
+	return labels, series
+}
+
+// FprintChart renders every numeric column of the table as labeled bars,
+// one block per series, sharing the y scale within a series.
+func FprintChart(w io.Writer, title string, header []string, rows [][]string, barWidth int) {
+	labels, series := ExtractSeries(header, rows)
+	if len(series) == 0 {
+		return
+	}
+	if barWidth <= 0 {
+		barWidth = 30
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for _, s := range series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range s.Vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			continue
+		}
+		// Anchor at zero for non-negative series so bar length tracks
+		// magnitude, not just spread.
+		if lo > 0 {
+			lo = 0
+		}
+		fmt.Fprintf(w, "  %s  %s\n", s.Name, Sparkline(s.Vals))
+		for i, v := range s.Vals {
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, "    %-*s  %s  -\n", labelW, labels[i], strings.Repeat(" ", barWidth))
+				continue
+			}
+			fmt.Fprintf(w, "    %-*s  %s  %.4g\n", labelW, labels[i], Bar(v, lo, hi, barWidth), v)
+		}
+	}
+	fmt.Fprintln(w)
+}

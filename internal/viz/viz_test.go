@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	if got := Bar(10, 0, 10, 4); got != "████" {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := Bar(0, 0, 10, 4); strings.TrimSpace(got) != "" {
+		t.Errorf("empty bar = %q", got)
+	}
+	if got := Bar(5, 0, 10, 4); len([]rune(got)) != 4 {
+		t.Errorf("bar not padded to width: %q", got)
+	}
+	// Out-of-range values clamp.
+	if got := Bar(100, 0, 10, 4); got != "████" {
+		t.Errorf("clamped bar = %q", got)
+	}
+	if got := Bar(-5, 0, 10, 4); strings.TrimSpace(got) != "" {
+		t.Errorf("negative clamp = %q", got)
+	}
+	// Degenerate range.
+	if got := Bar(1, 1, 1, 3); len([]rune(got)) != 3 {
+		t.Errorf("degenerate range bar = %q", got)
+	}
+	if got := Bar(1, 0, 10, 0); len([]rune(got)) != 1 {
+		t.Errorf("zero width bar = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	rs := []rune(s)
+	if rs[0] >= rs[3] {
+		t.Errorf("monotone series not rising: %q", s)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); len([]rune(got)) != 3 {
+		t.Errorf("constant sparkline = %q", got)
+	}
+	withNaN := Sparkline([]float64{1, math.NaN(), 3})
+	if []rune(withNaN)[1] != '·' {
+		t.Errorf("NaN marker missing: %q", withNaN)
+	}
+	allNaN := Sparkline([]float64{math.NaN(), math.NaN()})
+	if allNaN != "··" {
+		t.Errorf("all-NaN sparkline = %q", allNaN)
+	}
+}
+
+func TestExtractSeries(t *testing.T) {
+	header := []string{"Sweep", "Raw", "DISC", "Note"}
+	rows := [][]string{
+		{"ε=1", "0.9", "0.95", "x"},
+		{"ε=2", "0.9", "-", "y"},
+	}
+	labels, series := ExtractSeries(header, rows)
+	if len(labels) != 2 || labels[0] != "ε=1" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (Note is non-numeric)", len(series))
+	}
+	if series[0].Name != "Raw" || series[1].Name != "DISC" {
+		t.Errorf("series names %v %v", series[0].Name, series[1].Name)
+	}
+	if !math.IsNaN(series[1].Vals[1]) {
+		t.Error("missing cell not NaN")
+	}
+	if l, s := ExtractSeries(nil, nil); l != nil || s != nil {
+		t.Error("empty input should return nils")
+	}
+}
+
+func TestFprintChart(t *testing.T) {
+	var buf bytes.Buffer
+	header := []string{"n", "DISC", "DORC"}
+	rows := [][]string{
+		{"1000", "0.1", "0.2"},
+		{"2000", "0.3", "-"},
+	}
+	FprintChart(&buf, "times", header, rows, 10)
+	out := buf.String()
+	if !strings.Contains(out, "times") || !strings.Contains(out, "DISC") {
+		t.Errorf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "1000") || !strings.Contains(out, "2000") {
+		t.Error("chart missing labels")
+	}
+	// Missing cell renders a dash.
+	if !strings.Contains(out, "-") {
+		t.Error("missing cell marker absent")
+	}
+	// Non-numeric tables render nothing.
+	buf.Reset()
+	FprintChart(&buf, "t", []string{"a", "b"}, [][]string{{"x", "y"}}, 10)
+	if buf.Len() != 0 {
+		t.Errorf("non-numeric table rendered: %q", buf.String())
+	}
+}
