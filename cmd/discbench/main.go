@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -21,13 +24,15 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
-		list   = flag.Bool("list", false, "list the available experiments")
-		scale  = flag.Float64("scale", 1, "multiply the per-experiment dataset scales (0 < scale ≤ ...)")
-		seed   = flag.Int64("seed", 1, "random seed for data generation and algorithms")
-		verb   = flag.Bool("v", false, "print progress while running")
-		plot   = flag.Bool("plot", false, "additionally render each table's numeric columns as ASCII charts")
-		format = flag.String("format", "text", "output format: text, csv or markdown")
+		id      = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
+		list    = flag.Bool("list", false, "list the available experiments")
+		scale   = flag.Float64("scale", 1, "multiply the per-experiment dataset scales (0 < scale ≤ ...)")
+		seed    = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		verb    = flag.Bool("v", false, "print progress while running")
+		plot    = flag.Bool("plot", false, "additionally render each table's numeric columns as ASCII charts")
+		format  = flag.String("format", "text", "output format: text, csv or markdown")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		workers = flag.Int("workers", 0, "per-method parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -54,11 +59,26 @@ func main() {
 		runs = []exp.Experiment{e}
 	}
 
-	cfg := exp.Config{SizeScale: *scale, Seed: *seed}
+	// SIGINT/SIGTERM (and -timeout) cancel the context: the experiment in
+	// flight stops at its next DISC save or counting pass, experiments
+	// already printed stand, and the process exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := exp.Config{SizeScale: *scale, Seed: *seed, Ctx: ctx, Workers: *workers}
 	if *verb {
 		cfg.Progress = os.Stderr
 	}
 	for _, e := range runs {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "discbench: interrupted before %s: %v\n", e.ID, ctx.Err())
+			os.Exit(1)
+		}
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
@@ -86,5 +106,11 @@ func main() {
 				viz.FprintChart(os.Stdout, "chart: "+tb.Title, tb.Header, tb.Rows, 32)
 			}
 		}
+	}
+	// A budget that expired inside an experiment degrades its cells rather
+	// than erroring; report the truncation so scripts can tell.
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "discbench: run interrupted (%v); results above are partial\n", ctx.Err())
+		os.Exit(1)
 	}
 }

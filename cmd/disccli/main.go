@@ -6,33 +6,59 @@
 // constraints are determined automatically from the Poisson model of
 // ε-neighbor appearance (§2.1.2 of the paper).
 //
+// Saving an outlier is NP-hard, so the run can be bounded: -timeout caps
+// the whole run, -max-nodes caps the search nodes per outlier. When a
+// budget trips — or the run is interrupted with SIGINT — the pipeline
+// degrades instead of aborting: outliers already saved keep their
+// adjustments, budget-tripped saves keep their best-so-far answer (marked
+// "exhausted" in the -report), skipped outliers are reported, the partial
+// repair is still written, and the exit status is nonzero.
+//
 // Usage:
 //
-//	disccli -in data.csv -out repaired.csv [-eps 3 -eta 18] [-kappa 2] [-report]
+//	disccli -in data.csv -out repaired.csv [-eps 3 -eta 18] [-kappa 2]
+//	        [-timeout 30s] [-max-nodes 100000] [-workers 8] [-report]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	disc "repro"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV file (required)")
-		out    = flag.String("out", "", "output CSV file (default stdout)")
-		eps    = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
-		eta    = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
-		kappa  = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
-		seed   = flag.Int64("seed", 1, "seed for sampling during parameter determination")
-		report = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
+		in       = flag.String("in", "", "input CSV file (required)")
+		out      = flag.String("out", "", "output CSV file (default stdout)")
+		eps      = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
+		eta      = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
+		kappa    = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
+		seed     = flag.Int64("seed", 1, "seed for sampling during parameter determination")
+		report   = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the partial repair is written")
+		maxNodes = flag.Int("max-nodes", 0, "search-node budget per outlier (0 = unlimited); tripped saves keep their best-so-far adjustment")
+		workers  = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "disccli: -in is required")
 		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM cancel the context instead of killing the process:
+	// the save degrades to its partial result, which is flushed below. A
+	// second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	f, err := os.Open(*in)
@@ -50,7 +76,7 @@ func main() {
 
 	cons := disc.Constraints{Eps: *eps, Eta: *eta}
 	if cons.Eps <= 0 || cons.Eta < 1 {
-		choice, err := disc.DetermineParams(rel, disc.ParamOptions{Seed: *seed})
+		choice, err := disc.DetermineParamsContext(ctx, rel, disc.ParamOptions{Seed: *seed})
 		if err != nil {
 			fatal(fmt.Errorf("parameter determination failed: %w (pass -eps and -eta)", err))
 		}
@@ -60,38 +86,86 @@ func main() {
 		if cons.Eta < 1 {
 			cons.Eta = choice.Eta
 		}
-		fmt.Fprintf(os.Stderr, "disccli: determined ε=%.4g η=%d (λ=%.1f, violation rate %.3f)\n",
-			choice.Eps, choice.Eta, choice.Lambda, choice.OutlierRate)
+		note := ""
+		if choice.Exhausted {
+			note = " (interrupted: best of the candidates measured so far)"
+		}
+		fmt.Fprintf(os.Stderr, "disccli: determined ε=%.4g η=%d (λ=%.1f, violation rate %.3f)%s\n",
+			choice.Eps, choice.Eta, choice.Lambda, choice.OutlierRate, note)
 	}
 
-	res, err := disc.Save(rel, cons, disc.Options{Kappa: *kappa})
+	res, err := disc.SaveContext(ctx, rel, cons, disc.Options{
+		Kappa:    *kappa,
+		MaxNodes: *maxNodes,
+		Workers:  *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "disccli: %d tuples, %d outliers, %d saved, %d left as natural\n",
+	fmt.Fprintf(os.Stderr, "disccli: %d tuples, %d outliers, %d saved, %d left as natural",
 		rel.N(), len(res.Detection.Outliers), res.Saved, res.Natural)
+	if res.Exhausted > 0 {
+		fmt.Fprintf(os.Stderr, ", %d exhausted a budget", res.Exhausted)
+	}
+	if res.Failed() > 0 {
+		fmt.Fprintf(os.Stderr, ", %d not processed", res.Failed())
+	}
+	fmt.Fprintln(os.Stderr)
 	if *report {
+		failed := make(map[int]error, len(res.Errs))
+		for _, se := range res.Errs {
+			failed[se.Index] = se.Err
+		}
 		for _, adj := range res.Adjustments {
-			if adj.Saved() {
+			switch {
+			case failed[adj.Index] != nil:
+				fmt.Fprintf(os.Stderr, "  row %d: not processed: %v\n", adj.Index+1, failed[adj.Index])
+			case adj.Saved() && adj.Exhausted:
+				fmt.Fprintf(os.Stderr, "  row %d: adjusted attributes %v, cost %.4g (exhausted: best-so-far)\n",
+					adj.Index+1, adj.Adjusted.Attrs(rel.Schema.M()), adj.Cost)
+			case adj.Saved():
 				fmt.Fprintf(os.Stderr, "  row %d: adjusted attributes %v, cost %.4g\n",
 					adj.Index+1, adj.Adjusted.Attrs(rel.Schema.M()), adj.Cost)
-			} else {
+			case adj.Natural:
 				fmt.Fprintf(os.Stderr, "  row %d: natural outlier, left unchanged\n", adj.Index+1)
+			default:
+				fmt.Fprintf(os.Stderr, "  row %d: no adjustment found before the budget tripped\n", adj.Index+1)
 			}
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		w, err = os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := disc.WriteCSV(os.Stdout, res.Repaired); err != nil {
 			fatal(err)
 		}
-		defer w.Close()
-	}
-	if err := disc.WriteCSV(w, res.Repaired); err != nil {
+	} else if err := writeFile(*out, res); err != nil {
 		fatal(err)
 	}
+
+	if ctx.Err() != nil || res.Failed() > 0 {
+		fmt.Fprintln(os.Stderr, "disccli: run interrupted; the written repair is partial")
+		os.Exit(1)
+	}
+}
+
+// writeFile writes the repaired relation to path, removing the partial
+// file when the write fails midway — a truncated CSV silently dropping
+// tuples is worse for downstream consumers than no file at all.
+func writeFile(path string, res *disc.SaveResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := disc.WriteCSV(f, res.Repaired)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w (partial file removed)", path, werr)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -28,6 +28,8 @@
 package disc
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -107,12 +109,21 @@ type (
 	ParamOptions = core.ParamOptions
 	// ParamChoice is a determined (ε, η) setting.
 	ParamChoice = core.ParamChoice
+	// SaveError records one outlier a SaveResult could not process.
+	SaveError = core.SaveError
 )
 
 // Detect splits a relation into inliers and outliers under the
 // constraints.
 func Detect(rel *Relation, cons Constraints) (*Detection, error) {
 	return core.Detect(rel, cons, nil)
+}
+
+// DetectContext is Detect with cancellation: the counting pass stops
+// promptly once ctx is cancelled and the cancellation is returned as an
+// error.
+func DetectContext(ctx context.Context, rel *Relation, cons Constraints) (*Detection, error) {
+	return core.DetectContext(ctx, rel, cons, nil)
 }
 
 // Save runs the full DISC pipeline: detect every violation of the distance
@@ -124,10 +135,27 @@ func Save(rel *Relation, cons Constraints, opts Options) (*SaveResult, error) {
 	return core.SaveAll(rel, cons, opts)
 }
 
+// SaveContext is Save under budgets: ctx (plus Options.BatchTimeout) bounds
+// the whole batch and Options.MaxNodes/Deadline bound each outlier's
+// search. Instead of aborting on an expired budget the pipeline degrades:
+// completed saves stand, in-flight saves return best-so-far adjustments
+// flagged Exhausted, skipped outliers are listed in SaveResult.Errs, and a
+// panic inside one outlier's save is recovered into its Errs entry while
+// the remaining outliers are still saved.
+func SaveContext(ctx context.Context, rel *Relation, cons Constraints, opts Options) (*SaveResult, error) {
+	return core.SaveAllContext(ctx, rel, cons, opts)
+}
+
 // NewSaver prepares a saver for repeated single-tuple saves against a
 // fixed outlier-free relation.
 func NewSaver(r *Relation, cons Constraints, opts Options) (*Saver, error) {
 	return core.NewSaver(r, cons, opts)
+}
+
+// NewSaverContext is NewSaver with cancellation of the η-radius precompute
+// pass.
+func NewSaverContext(ctx context.Context, r *Relation, cons Constraints, opts Options) (*Saver, error) {
+	return core.NewSaverContext(ctx, r, cons, opts)
 }
 
 // NewExactSaver prepares the exact value-enumeration baseline; maxDomain
@@ -140,6 +168,13 @@ func NewExactSaver(r *Relation, cons Constraints, maxDomain int) (*ExactSaver, e
 // appearance (§2.1.2, Figure 5), optionally from a sample of the data.
 func DetermineParams(rel *Relation, opts ParamOptions) (ParamChoice, error) {
 	return core.DeterminePoisson(rel, opts)
+}
+
+// DetermineParamsContext is DetermineParams under cancellation, degrading
+// to the best choice among the ε candidates measured before ctx was
+// cancelled (flagged ParamChoice.Exhausted).
+func DetermineParamsContext(ctx context.Context, rel *Relation, opts ParamOptions) (ParamChoice, error) {
+	return core.DeterminePoissonContext(ctx, rel, opts)
 }
 
 // NeighborCounts returns the sampled #ε-neighbor distribution (Figure 5).
@@ -171,6 +206,13 @@ type (
 var (
 	// DBSCAN is density-based clustering over any metric schema.
 	DBSCAN = cluster.DBSCAN
+	// DBSCANContext, KMeansContext and SREMContext are the cancellable
+	// variants: they stop promptly once the context is cancelled and
+	// return the partial (DBSCAN) or best-so-far (restarted) clustering
+	// alongside the context's error.
+	DBSCANContext = cluster.DBSCANContext
+	KMeansContext = cluster.KMeansContext
+	SREMContext   = cluster.SREMContext
 	// KMeans is Lloyd's algorithm with k-means++ seeding and restarts.
 	KMeans = cluster.KMeans
 	// KMeansMM is K-Means-- (k clusters and l outliers).

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+
 	"repro/internal/data"
 	"repro/internal/neighbors"
 )
@@ -21,6 +23,15 @@ type DBSCANConfig struct {
 // point's cluster; everything else is noise (-1). It works over any metric
 // schema, including textual attributes.
 func DBSCAN(rel *data.Relation, cfg DBSCANConfig) Result {
+	res, _ := DBSCANContext(context.Background(), rel, cfg)
+	return res
+}
+
+// DBSCANContext is DBSCAN with cancellation: the seed-point scan checks ctx
+// on every tuple and stops once it is cancelled, returning the clusters
+// grown so far (every not-yet-visited tuple labeled noise) together with
+// the context's error. A nil error means the clustering is complete.
+func DBSCANContext(ctx context.Context, rel *data.Relation, cfg DBSCANConfig) (Result, error) {
 	n := rel.N()
 	labels := make([]int, n)
 	for i := range labels {
@@ -30,9 +41,22 @@ func DBSCAN(rel *data.Relation, cfg DBSCANConfig) Result {
 	if idx == nil {
 		idx = neighbors.Build(rel, cfg.Eps)
 	}
+	done := ctx.Done()
 	cluster := 0
 	queue := make([]int, 0, 64)
 	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				for j := range labels {
+					if labels[j] == -2 {
+						labels[j] = -1 // unexplored ⇒ noise in the partial result
+					}
+				}
+				return Result{Labels: labels, K: cluster}, ctx.Err()
+			default:
+			}
+		}
 		if labels[i] != -2 {
 			continue
 		}
@@ -67,5 +91,5 @@ func DBSCAN(rel *data.Relation, cfg DBSCANConfig) Result {
 		}
 		cluster++
 	}
-	return Result{Labels: labels, K: cluster}
+	return Result{Labels: labels, K: cluster}, nil
 }

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/par"
 )
 
 // KMeansConfig parameterizes the K-Means family.
@@ -46,6 +48,16 @@ func (c *KMeansConfig) defaults(n int) {
 // restarted Restarts times with the lowest within-cluster SSE kept
 // (scikit-learn's n_init behaviour).
 func KMeans(rel *data.Relation, cfg KMeansConfig) (Result, error) {
+	return KMeansContext(context.Background(), rel, cfg)
+}
+
+// KMeansContext is KMeans with cancellation and restart parallelism: the
+// independent k-means++ restarts fan out over the worker pool (each seeds
+// its own generator from the restart index, so the chosen clustering is
+// identical to the sequential one) and no new restart begins after ctx is
+// cancelled. Completed restarts still yield a best-so-far result alongside
+// the context's error; an error with a zero Result means none finished.
+func KMeansContext(ctx context.Context, rel *data.Relation, cfg KMeansConfig) (Result, error) {
 	points, err := Matrix(rel)
 	if err != nil {
 		return Result{}, err
@@ -55,9 +67,12 @@ func KMeans(rel *data.Relation, cfg KMeansConfig) (Result, error) {
 	if restarts <= 0 {
 		restarts = 5
 	}
-	var bestLabels []int
-	bestSSE := math.Inf(1)
-	for r := 0; r < restarts; r++ {
+	type run struct {
+		labels []int
+		sse    float64
+	}
+	runs := make([]*run, restarts)
+	errs := par.ForEach(ctx, restarts, 0, func(r int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*104729))
 		centers := kmeansPP(points, nil, cfg.K, rng)
 		labels := lloyd(points, nil, centers, cfg.MaxIter, nil)
@@ -65,12 +80,21 @@ func KMeans(rel *data.Relation, cfg KMeansConfig) (Result, error) {
 		for i := range points {
 			sse += sqDist(points[i], centers[labels[i]])
 		}
-		if sse < bestSSE {
-			bestSSE = sse
-			bestLabels = labels
+		runs[r] = &run{labels: labels, sse: sse}
+		return nil
+	})
+	var bestLabels []int
+	bestSSE := math.Inf(1)
+	for _, r := range runs { // ascending restart order keeps ties deterministic
+		if r != nil && r.sse < bestSSE {
+			bestSSE = r.sse
+			bestLabels = r.labels
 		}
 	}
-	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, nil
+	if bestLabels == nil {
+		return Result{}, par.FirstErr(errs)
+	}
+	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, ctx.Err()
 }
 
 // KMeansMM is K-Means-- (Chawla & Gionis [13]): each Lloyd iteration drops

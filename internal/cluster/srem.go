@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"repro/internal/data"
+	"repro/internal/par"
 )
 
 // SREMConfig parameterizes the stability-region EM clustering (Reddy et
@@ -22,6 +24,16 @@ type SREMConfig struct {
 // SREM clusters the relation by maximum-responsibility assignment of the
 // best mixture found.
 func SREM(rel *data.Relation, cfg SREMConfig) (Result, error) {
+	return SREMContext(context.Background(), rel, cfg)
+}
+
+// SREMContext is SREM with cancellation and restart parallelism: the EM
+// restarts fan out over the worker pool (per-restart seeding keeps the
+// winner identical to the sequential run) and no new restart begins after
+// ctx is cancelled. Completed restarts still yield a best-so-far result
+// alongside the context's error; an error with a zero Result means none
+// finished.
+func SREMContext(ctx context.Context, rel *data.Relation, cfg SREMConfig) (Result, error) {
 	points, err := Matrix(rel)
 	if err != nil {
 		return Result{}, err
@@ -39,17 +51,29 @@ func SREM(rel *data.Relation, cfg SREMConfig) (Result, error) {
 	if cfg.Restarts <= 0 {
 		cfg.Restarts = 4
 	}
-	bestLL := math.Inf(-1)
-	var bestLabels []int
-	for restart := 0; restart < cfg.Restarts; restart++ {
+	type run struct {
+		labels []int
+		ll     float64
+	}
+	runs := make([]*run, cfg.Restarts)
+	errs := par.ForEach(ctx, cfg.Restarts, 0, func(restart int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
 		labels, ll := emRun(points, cfg.K, cfg.MaxIter, rng)
-		if ll > bestLL {
-			bestLL = ll
-			bestLabels = labels
+		runs[restart] = &run{labels: labels, ll: ll}
+		return nil
+	})
+	bestLL := math.Inf(-1)
+	var bestLabels []int
+	for _, r := range runs { // ascending restart order keeps ties deterministic
+		if r != nil && r.ll > bestLL {
+			bestLL = r.ll
+			bestLabels = r.labels
 		}
 	}
-	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, nil
+	if bestLabels == nil {
+		return Result{}, par.FirstErr(errs)
+	}
+	return Result{Labels: bestLabels, K: countClusters(bestLabels)}, ctx.Err()
 }
 
 // emRun fits one diagonal GMM by EM and returns MAP labels and the final

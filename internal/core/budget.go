@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// budget meters one save's search work against the caller's limits: a
+// search-node cap (Options.MaxNodes), a per-save wall-clock allowance
+// (Options.Deadline) and the context's cancellation. Saving one outlier is
+// NP-hard and Algorithm 1's recursion is worst-case exponential in m, so
+// every descent spends from the budget and stops — keeping the best
+// adjustment found so far — the moment any limit trips.
+type budget struct {
+	done      <-chan struct{} // ctx.Done(); nil for background contexts
+	deadline  time.Time       // zero when no per-save allowance is set
+	maxNodes  int             // ≤ 0: unlimited
+	nodes     int
+	exhausted bool
+}
+
+// deadlineCheckMask spaces out time.Now() calls: the clock is read on the
+// first node and every 32nd after, so even a tiny search notices an expired
+// deadline while large ones do not pay a syscall per node.
+const deadlineCheckMask = 31
+
+// newBudget derives the per-save budget from the context and options.
+func newBudget(ctx context.Context, opts Options) *budget {
+	b := &budget{maxNodes: opts.MaxNodes}
+	if ctx != nil {
+		b.done = ctx.Done()
+	}
+	if opts.Deadline > 0 {
+		b.deadline = time.Now().Add(opts.Deadline)
+	}
+	return b
+}
+
+// spend consumes one search node and reports whether the search must stop.
+// Once it returns true it keeps returning true: the recursion unwinds
+// without expanding further nodes.
+func (b *budget) spend() bool {
+	if b.exhausted {
+		return true
+	}
+	b.nodes++
+	if b.maxNodes > 0 && b.nodes >= b.maxNodes {
+		b.exhausted = true
+		return true
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			b.exhausted = true
+			return true
+		default:
+		}
+	}
+	if !b.deadline.IsZero() && b.nodes&deadlineCheckMask == 1 && time.Now().After(b.deadline) {
+		b.exhausted = true
+		return true
+	}
+	return false
+}
+
+// stopped reports whether the budget has tripped, without spending a node.
+func (b *budget) stopped() bool {
+	if b.exhausted {
+		return true
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			b.exhausted = true
+		default:
+		}
+	}
+	return b.exhausted
+}

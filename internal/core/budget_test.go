@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/neighbors"
+)
+
+// denseRelation6D builds a random 6-attribute cluster inside the unit cube:
+// enough attributes that Algorithm 1 has a real (2^6-mask) search tree to
+// budget, enough density that every position is feasible.
+func denseRelation6D(n int, seed int64) *data.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := data.NewRelation(data.NewNumericSchema("a", "b", "c", "d", "e", "f"))
+	for i := 0; i < n; i++ {
+		t := make(data.Tuple, 6)
+		for a := range t {
+			t[a] = data.Num(rng.Float64())
+		}
+		r.Append(t)
+	}
+	return r
+}
+
+func far6D() data.Tuple {
+	t := make(data.Tuple, 6)
+	for a := range t {
+		t[a] = data.Num(3)
+	}
+	return t
+}
+
+// TestSaveMaxNodesReturnsFeasibleExhausted is the budget acceptance test:
+// a tripped MaxNodes budget must still return a feasible adjustment, cost
+// no worse than the Lemma 4 initial bound, flagged Exhausted, within the
+// node cap.
+func TestSaveMaxNodesReturnsFeasibleExhausted(t *testing.T) {
+	r := denseRelation6D(150, 7)
+	cons := Constraints{Eps: 1.4, Eta: 4}
+	outlier := far6D()
+
+	free, err := NewSaver(r, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded := free.Save(outlier)
+	if !unbounded.Saved() || unbounded.Exhausted {
+		t.Fatalf("unbounded save: saved=%v exhausted=%v", unbounded.Saved(), unbounded.Exhausted)
+	}
+	const nodeCap = 5
+	if unbounded.Nodes <= nodeCap {
+		t.Fatalf("search too small to exercise the budget: %d nodes", unbounded.Nodes)
+	}
+
+	capped, err := NewSaver(r, cons, Options{MaxNodes: nodeCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := capped.Save(outlier)
+	if !adj.Exhausted {
+		t.Fatal("MaxNodes trip not flagged Exhausted")
+	}
+	if adj.Nodes > nodeCap {
+		t.Errorf("expanded %d nodes, budget was %d", adj.Nodes, nodeCap)
+	}
+	if !adj.Saved() {
+		t.Fatal("budgeted save lost the Lemma 4 initial answer")
+	}
+	// Feasibility: the degraded adjustment still satisfies the constraints.
+	idx := neighbors.NewBrute(r)
+	if got := idx.CountWithin(adj.Tuple, cons.Eps, -1, 0); got < cons.Eta {
+		t.Errorf("degraded adjustment has %d ε-neighbors, want ≥ %d", got, cons.Eta)
+	}
+	// No worse than the Lemma 4 initial bound, no better than the full
+	// search's optimum.
+	if _, initCost := capped.initialBound(outlier); adj.Cost > initCost+1e-9 {
+		t.Errorf("degraded cost %v exceeds the Lemma 4 bound %v", adj.Cost, initCost)
+	}
+	if adj.Cost < unbounded.Cost-1e-9 {
+		t.Errorf("degraded cost %v beats the completed search %v", adj.Cost, unbounded.Cost)
+	}
+}
+
+func TestSaveContextCancelledDegrades(t *testing.T) {
+	r := denseRelation6D(150, 11)
+	cons := Constraints{Eps: 1.4, Eta: 4}
+	s, err := NewSaver(r, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	adj := s.SaveContext(ctx, far6D())
+	if !adj.Exhausted {
+		t.Fatal("cancelled context not flagged Exhausted")
+	}
+	if adj.Nodes > 1 {
+		t.Errorf("expanded %d nodes under a cancelled context", adj.Nodes)
+	}
+	if adj.Saved() {
+		idx := neighbors.NewBrute(r)
+		if got := idx.CountWithin(adj.Tuple, cons.Eps, -1, 0); got < cons.Eta {
+			t.Errorf("degraded adjustment has %d ε-neighbors, want ≥ %d", got, cons.Eta)
+		}
+	}
+	// An untripped save of the same tuple is not marked Exhausted.
+	if again := s.Save(far6D()); again.Exhausted {
+		t.Error("background save marked Exhausted")
+	}
+}
+
+func TestSaveDeadlineTrips(t *testing.T) {
+	r := denseRelation6D(150, 19)
+	s, err := NewSaver(r, Constraints{Eps: 1.4, Eta: 4}, Options{Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := s.Save(far6D())
+	if !adj.Exhausted {
+		t.Fatal("1ns deadline did not trip")
+	}
+}
+
+func TestSaveKappaRestrictedBudget(t *testing.T) {
+	// The κ-restricted start-mask enumeration must also honor the budget.
+	r := denseRelation6D(150, 23)
+	cons := Constraints{Eps: 1.4, Eta: 4}
+	free, err := NewSaver(r, cons, Options{Kappa: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := far6D()
+	o[0] = data.Num(0.5) // partially corrupted so a κ-repair can exist
+	o[1] = data.Num(0.5)
+	o[2] = data.Num(0.5)
+	unbounded := free.Save(o)
+	if unbounded.Nodes <= 2 {
+		t.Skipf("κ search too small to budget: %d nodes", unbounded.Nodes)
+	}
+	capped, err := NewSaver(r, cons, Options{Kappa: 3, MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := capped.Save(o)
+	if !adj.Exhausted {
+		t.Fatal("κ-restricted MaxNodes trip not flagged Exhausted")
+	}
+	if adj.Nodes > 2 {
+		t.Errorf("expanded %d nodes, budget was 2", adj.Nodes)
+	}
+}
+
+func TestExactSaverBudget(t *testing.T) {
+	r := clusterRelation(0, 0, 3)
+	cons := Constraints{Eps: 1.5, Eta: 3}
+	e, err := NewExactSaver(r, cons, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlier := data.Tuple{data.Num(10), data.Num(0.25)}
+	full := e.Save(outlier)
+	if !full.Saved() || full.Exhausted {
+		t.Fatalf("unbounded exact save: saved=%v exhausted=%v", full.Saved(), full.Exhausted)
+	}
+
+	e.MaxNodes = 2
+	adj := e.Save(outlier)
+	if !adj.Exhausted {
+		t.Fatal("exact MaxNodes trip not flagged Exhausted")
+	}
+	if adj.Saved() {
+		idx := neighbors.NewBrute(r)
+		if got := idx.CountWithin(adj.Tuple, cons.Eps, -1, 0); got < cons.Eta {
+			t.Errorf("degraded exact adjustment has %d ε-neighbors, want ≥ %d", got, cons.Eta)
+		}
+	}
+
+	e.MaxNodes = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if adj := e.SaveContext(ctx, outlier); !adj.Exhausted {
+		t.Fatal("cancelled exact save not flagged Exhausted")
+	}
+}
+
+func TestDetectContextCancelled(t *testing.T) {
+	r := denseRelation6D(64, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DetectContext(ctx, r, Constraints{Eps: 1.4, Eta: 4}, nil); err == nil {
+		t.Fatal("cancelled DetectContext returned no error")
+	}
+}
+
+func TestDeterminePoissonContextCancelled(t *testing.T) {
+	r := denseRelation6D(200, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DeterminePoissonContext(ctx, r, ParamOptions{Seed: 1}); err == nil {
+		t.Fatal("cancelled DeterminePoissonContext returned no error")
+	}
+	// A live context still determines parameters (and is not Exhausted).
+	choice, err := DeterminePoisson(r, ParamOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Exhausted {
+		t.Error("uncancelled determination flagged Exhausted")
+	}
+}

@@ -13,11 +13,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"repro/internal/data"
 	"repro/internal/neighbors"
+	"repro/internal/par"
 )
 
 // Constraints are the distance constraints (ε, η) of Definition 1: a tuple
@@ -59,6 +61,14 @@ func (d *Detection) IsOutlier(i int) bool {
 // (self excluded) are inliers, the rest outliers. idx must index rel; pass
 // nil to build one automatically.
 func Detect(rel *data.Relation, cons Constraints, idx neighbors.Index) (*Detection, error) {
+	return DetectContext(context.Background(), rel, cons, idx)
+}
+
+// DetectContext is Detect with cancellation: the neighbor-counting pass
+// stops promptly once ctx is cancelled and the cancellation is returned as
+// an error (a partial split would misclassify the uncounted tuples, so no
+// partial Detection is produced).
+func DetectContext(ctx context.Context, rel *data.Relation, cons Constraints, idx neighbors.Index) (*Detection, error) {
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,9 +80,14 @@ func Detect(rel *data.Relation, cons Constraints, idx neighbors.Index) (*Detecti
 	// No early exit on the counts: the exact values feed parameter
 	// determination and the Figure 5 histograms. Counting is read-only
 	// per tuple, so it fans out across cores.
-	parallelFor(n, runtime.GOMAXPROCS(0), func(i int) {
-		det.Counts[i] = idx.CountWithin(rel.Tuples[i], cons.Eps, i, 0)
+	cidx := neighbors.WithContext(ctx, idx)
+	errs := par.ForEach(ctx, n, runtime.GOMAXPROCS(0), func(i int) error {
+		det.Counts[i] = cidx.CountWithin(rel.Tuples[i], cons.Eps, i, 0)
+		return nil
 	})
+	if err := par.FirstErr(errs); err != nil {
+		return nil, fmt.Errorf("core: detecting outliers: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		if det.Counts[i] >= cons.Eta {
 			det.Inliers = append(det.Inliers, i)
@@ -95,13 +110,22 @@ type Adjustment struct {
 	Cost float64
 	// Adjusted is the set of attributes whose values actually changed.
 	Adjusted data.AttrMask
-	// Natural marks outliers classified as true abnormal behaviour: no
-	// feasible adjustment exists within the κ-attribute budget, so the
-	// tuple is flagged rather than repaired (§1.2).
+	// Natural marks outliers classified as true abnormal behaviour: the
+	// search ran to completion and no feasible adjustment exists within
+	// the κ-attribute budget, so the tuple is flagged rather than
+	// repaired (§1.2). Natural is never set on an exhausted save — a
+	// tripped budget proves nothing about feasibility.
 	Natural bool
 	// Nodes counts the recursion nodes Algorithm 1 expanded (ablation and
 	// scalability reporting).
 	Nodes int
+	// Exhausted marks a save whose search was cut short by a budget
+	// (Options.MaxNodes, Options.Deadline, or context cancellation). The
+	// adjustment, when present, is still feasible — every intermediate
+	// answer is a Proposition 5 witness — but it is only best-so-far: the
+	// Proposition 6/7 approximation guarantees require a completed search
+	// and do not apply.
+	Exhausted bool
 }
 
 // Saved reports whether the outlier received an adjustment.

@@ -1,10 +1,28 @@
 package core
 
 import (
+	"context"
+	"math"
 	"runtime"
 
 	"repro/internal/data"
+	"repro/internal/par"
 )
+
+// SaveError records one outlier that was not processed: a recovered panic
+// inside its save, or the batch budget/context expiring before its turn.
+type SaveError struct {
+	// Index is the outlier's tuple position in the input relation.
+	Index int
+	// Err is what happened (wrapped panic, or the context's error).
+	Err error
+}
+
+// Error implements error.
+func (e SaveError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e SaveError) Unwrap() error { return e.Err }
 
 // SaveResult is the outcome of saving every outlier of a relation.
 type SaveResult struct {
@@ -15,18 +33,62 @@ type SaveResult struct {
 	// Detection is the inlier/outlier split the save ran against.
 	Detection *Detection
 	// Adjustments has one entry per outlier (Index filled with the tuple's
-	// position in the input relation), in Detection.Outliers order.
+	// position in the input relation), in Detection.Outliers order. An
+	// outlier listed in Errs has a zero adjustment (not Saved, not
+	// Natural).
 	Adjustments []Adjustment
 	// Saved and Natural count the repaired and flagged outliers.
 	Saved, Natural int
+	// Exhausted counts the adjustments whose per-outlier search was cut
+	// short by a budget (see Adjustment.Exhausted); they are included in
+	// Saved/Natural when they produced an answer.
+	Exhausted int
+	// Errs lists the outliers that were not processed at all: one entry
+	// per recovered panic and per outlier skipped after the batch budget
+	// or context expired, sorted by outlier index. Nil when every outlier
+	// was processed.
+	Errs []SaveError
 }
+
+// Failed reports the number of outliers that were not processed (len(Errs)).
+func (r *SaveResult) Failed() int { return len(r.Errs) }
+
+// saveAllHook, when non-nil, runs just before each outlier's save, with the
+// outlier's position k in Detection.Outliers. It exists so tests can inject
+// panics and mid-batch cancellations at deterministic points.
+var saveAllHook func(k int)
 
 // SaveAll runs the full DISC pipeline on a relation: detect the violations
 // of the distance constraints, split the dataset into inliers r and
 // outliers s, and save each outlier against r one by one (§2.2), in
 // parallel across outliers. The input relation is not modified.
 func SaveAll(rel *data.Relation, cons Constraints, opts Options) (*SaveResult, error) {
-	det, err := Detect(rel, cons, nil)
+	return SaveAllContext(context.Background(), rel, cons, opts)
+}
+
+// SaveAllContext is SaveAll under budgets: ctx (plus Options.BatchTimeout,
+// when set) bounds the whole batch, Options.MaxNodes/Deadline bound each
+// outlier's search. The pipeline degrades instead of aborting — when the
+// batch budget expires mid-run, outliers already saved keep their
+// adjustments, the in-flight ones return best-so-far answers flagged
+// Exhausted, and the never-started ones are recorded in SaveResult.Errs. A
+// panic inside one outlier's save is recovered into its Errs entry and the
+// remaining outliers are still saved. An error is returned only when
+// nothing was produced at all: invalid inputs, or cancellation before the
+// detection pass completed.
+func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, opts Options) (*SaveResult, error) {
+	if opts.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.BatchTimeout)
+		defer cancel()
+	}
+	// Reject NaN/±Inf up front: a non-finite outlier would otherwise sail
+	// through detection (every NaN comparison is false) and poison the
+	// distance aggregates of its own save.
+	if err := data.ValidateValues(rel); err != nil {
+		return nil, err
+	}
+	det, err := DetectContext(ctx, rel, cons, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +112,7 @@ func SaveAll(rel *data.Relation, cons Constraints, opts Options) (*SaveResult, e
 	r := rel.Subset(det.Inliers)
 	saverOpts := opts
 	saverOpts.Index = nil // opts.Index would index rel, not the inlier subset
-	saver, err := NewSaver(r, cons, saverOpts)
+	saver, err := NewSaverContext(ctx, r, cons, saverOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -59,18 +121,37 @@ func SaveAll(rel *data.Relation, cons Constraints, opts Options) (*SaveResult, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	parallelFor(len(det.Outliers), workers, func(k int) {
+	errs := par.ForEach(ctx, len(det.Outliers), workers, func(k int) error {
+		if saveAllHook != nil {
+			saveAllHook(k)
+		}
 		oi := det.Outliers[k]
-		adj := saver.Save(rel.Tuples[oi])
+		adj := saver.SaveContext(ctx, rel.Tuples[oi])
 		adj.Index = oi
 		res.Adjustments[k] = adj
+		return nil
 	})
+	for _, ie := range errs {
+		oi := det.Outliers[ie.Index]
+		res.Adjustments[ie.Index] = Adjustment{Index: oi, Cost: math.Inf(1)}
+		res.Errs = append(res.Errs, SaveError{Index: oi, Err: ie.Err})
+	}
+	failed := make(map[int]bool, len(errs))
+	for _, ie := range errs {
+		failed[ie.Index] = true
+	}
 	for k := range res.Adjustments {
 		adj := &res.Adjustments[k]
-		if adj.Saved() {
+		if adj.Exhausted {
+			res.Exhausted++
+		}
+		switch {
+		case failed[k]:
+			// Not processed: neither saved nor natural.
+		case adj.Saved():
 			res.Repaired.Tuples[adj.Index] = adj.Tuple.Clone()
 			res.Saved++
-		} else {
+		case adj.Natural:
 			res.Natural++
 		}
 	}

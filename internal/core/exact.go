@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/neighbors"
@@ -22,6 +24,14 @@ type ExactSaver struct {
 	// κ policy of §1.2 (≤ 0: unrestricted). Outliers with no feasible
 	// ≤ κ-attribute repair are left unchanged (natural).
 	Kappa int
+	// MaxNodes bounds the enumeration nodes expanded per save (≤ 0:
+	// unlimited) and Deadline the wall clock per save (0: none),
+	// mirroring Options for the approximate saver. The d^m enumeration is
+	// the pipeline's worst runaway; a tripped budget returns the
+	// best-so-far adjustment flagged Exhausted — still feasible, no
+	// longer guaranteed optimal.
+	MaxNodes int
+	Deadline time.Duration
 }
 
 // NewExactSaver prepares the enumeration over r. domains may be nil, in
@@ -71,8 +81,17 @@ func thinDomain(vals []data.Value, k int) []data.Value {
 // cost order with partial-cost pruning, returning the minimum-cost feasible
 // adjustment. The search is exact over the (possibly thinned) domains.
 func (e *ExactSaver) Save(to data.Tuple) Adjustment {
+	return e.SaveContext(context.Background(), to)
+}
+
+// SaveContext is Save under a budget: the enumeration stops as soon as ctx
+// is cancelled, Deadline elapses, or MaxNodes nodes have been expanded,
+// returning the best feasible adjustment found so far flagged Exhausted
+// (optimality no longer holds; feasibility of any returned tuple does).
+func (e *ExactSaver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 	m := e.rel.Schema.M()
 	sch := e.rel.Schema
+	bud := newBudget(ctx, Options{MaxNodes: e.MaxNodes, Deadline: e.Deadline})
 
 	// Candidate values per attribute, sorted by adjustment cost on that
 	// attribute; the original value (cost 0) comes first.
@@ -131,11 +150,12 @@ func (e *ExactSaver) Save(to data.Tuple) Adjustment {
 		}
 	}
 	cur := make(data.Tuple, m)
-	nodes := 0
 
 	var dfs func(a, changed int, acc float64)
 	dfs = func(a, changed int, acc float64) {
-		nodes++
+		if bud.spend() {
+			return
+		}
 		if sch.Norm.Finish(acc) >= best.Cost {
 			return // partial cost already dominates; children only grow it
 		}
@@ -168,6 +188,12 @@ func (e *ExactSaver) Save(to data.Tuple) Adjustment {
 		}
 	}
 	dfs(0, 0, 0)
-	best.Nodes = nodes
+	best.Nodes = bud.nodes
+	if bud.exhausted {
+		best.Exhausted = true
+		if !best.Saved() {
+			best.Natural = false // incomplete search proves nothing (§1.2)
+		}
+	}
 	return best
 }

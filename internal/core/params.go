@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/neighbors"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -38,12 +40,24 @@ type ParamChoice struct {
 	Lambda float64
 	// OutlierRate is the sampled fraction of tuples violating (Eps, Eta).
 	OutlierRate float64
+	// Exhausted marks a determination whose candidate grid was not fully
+	// evaluated because the context was cancelled: the choice is the best
+	// among the candidates measured so far, not over the whole grid.
+	Exhausted bool
 }
 
 // NeighborCounts returns the number of ε-neighbors (self excluded) for the
 // sampled tuples — the raw distribution plotted in Figure 5. idx may be
 // nil to build one.
 func NeighborCounts(rel *data.Relation, eps float64, sampleRate float64, seed int64, idx neighbors.Index) []int {
+	counts, _ := NeighborCountsContext(context.Background(), rel, eps, sampleRate, seed, idx)
+	return counts
+}
+
+// NeighborCountsContext is NeighborCounts with cancellation: the counting
+// pass stops promptly once ctx is cancelled and returns (nil, ctx error) —
+// a partially counted sample would bias the Poisson fit.
+func NeighborCountsContext(ctx context.Context, rel *data.Relation, eps float64, sampleRate float64, seed int64, idx neighbors.Index) ([]int, error) {
 	if idx == nil {
 		idx = neighbors.Build(rel, eps)
 	}
@@ -52,11 +66,16 @@ func NeighborCounts(rel *data.Relation, eps float64, sampleRate float64, seed in
 	}
 	sample := stats.SampleIndices(rel.N(), sampleRate, seed)
 	counts := make([]int, len(sample))
-	parallelFor(len(sample), runtime.GOMAXPROCS(0), func(k int) {
+	cidx := neighbors.WithContext(ctx, idx)
+	errs := par.ForEach(ctx, len(sample), runtime.GOMAXPROCS(0), func(k int) error {
 		i := sample[k]
-		counts[k] = idx.CountWithin(rel.Tuples[i], eps, i, 0)
+		counts[k] = cidx.CountWithin(rel.Tuples[i], eps, i, 0)
+		return nil
 	})
-	return counts
+	if err := par.FirstErr(errs); err != nil {
+		return nil, err
+	}
+	return counts, nil
 }
 
 // DeterminePoisson chooses (ε, η) from the Poisson model of ε-neighbor
@@ -66,6 +85,15 @@ func NeighborCounts(rel *data.Relation, eps float64, sampleRate float64, seed in
 // TargetOutlierRate — the "moderately large ε" rule of §2.1.2 under which
 // a limited number of points are identified as outliers.
 func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error) {
+	return DeterminePoissonContext(context.Background(), rel, opts)
+}
+
+// DeterminePoissonContext is DeterminePoisson under cancellation, degrading
+// gracefully: when ctx is cancelled mid-grid, the best choice among the ε
+// candidates measured so far is returned with Exhausted set (the selection
+// rule runs over the partial grid); only a cancellation before the first
+// candidate was measured is returned as an error.
+func DeterminePoissonContext(ctx context.Context, rel *data.Relation, opts ParamOptions) (ParamChoice, error) {
 	if rel.N() < 2 {
 		return ParamChoice{}, fmt.Errorf("core: cannot determine parameters over %d tuples", rel.N())
 	}
@@ -80,7 +108,7 @@ func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error
 	}
 	cands := opts.EpsCandidates
 	if len(cands) == 0 {
-		cands = epsCandidateGrid(rel, opts.Seed)
+		cands = epsCandidateGrid(ctx, rel, opts.Seed)
 	}
 	if len(cands) == 0 {
 		return ParamChoice{}, fmt.Errorf("core: no ε candidates could be derived")
@@ -91,8 +119,16 @@ func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error
 	choices := make([]ParamChoice, 0, len(cands))
 	gaps := make([]float64, 0, len(cands))
 	gapMin := math.Inf(1)
+	exhausted := false
 	for _, eps := range cands {
-		counts := NeighborCounts(rel, eps, opts.SampleRate, opts.Seed, idx)
+		counts, cerr := NeighborCountsContext(ctx, rel, eps, opts.SampleRate, opts.Seed, idx)
+		if cerr != nil {
+			if len(choices) == 0 {
+				return ParamChoice{}, fmt.Errorf("core: parameter determination cancelled: %w", cerr)
+			}
+			exhausted = true
+			break // select over the candidates measured so far
+		}
 		pois, err := stats.FitPoisson(counts)
 		if err != nil {
 			continue
@@ -151,7 +187,12 @@ func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error
 		if gaps[i] > math.Max(tol, 0.08) {
 			continue // hopeless rate match; don't even measure headroom
 		}
-		half := NeighborCounts(rel, c.Eps/2, opts.SampleRate, opts.Seed, idx)
+		half, cerr := NeighborCountsContext(ctx, rel, c.Eps/2, opts.SampleRate, opts.Seed, idx)
+		if cerr != nil {
+			// Degrade to the rate-only selection over what was measured.
+			exhausted = true
+			break
+		}
 		atLeast := 0
 		for _, cnt := range half {
 			if cnt >= c.Eta {
@@ -165,15 +206,19 @@ func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error
 			bestPass = i
 		}
 	}
+	pick := func(c ParamChoice) (ParamChoice, error) {
+		c.Exhausted = exhausted
+		return c, nil
+	}
 	if bestPass >= 0 {
-		return choices[bestPass], nil
+		return pick(choices[bestPass])
 	}
 	for i, c := range choices {
 		if gaps[i] <= tol {
-			return c, nil
+			return pick(c)
 		}
 	}
-	return choices[0], nil
+	return pick(choices[0])
 }
 
 // epsCandidateGrid derives candidate distance thresholds from the k-NN
@@ -181,11 +226,11 @@ func DeterminePoisson(rel *data.Relation, opts ParamOptions) (ParamChoice, error
 // median 1-NN distance (everything tighter than this is noise floor) and
 // four times the 90th percentile 8-NN distance (room for the repair
 // headroom the selection in DeterminePoisson checks for).
-func epsCandidateGrid(rel *data.Relation, seed int64) []float64 {
+func epsCandidateGrid(ctx context.Context, rel *data.Relation, seed int64) []float64 {
 	const k = 8
 	sampleRate := 256.0 / float64(rel.N())
 	sample := stats.SampleIndices(rel.N(), sampleRate, seed)
-	idx := neighbors.NewVPTree(rel, seed+1)
+	idx := neighbors.WithContext(ctx, neighbors.NewVPTree(rel, seed+1))
 	var d1, dk []float64
 	for _, i := range sample {
 		nn := idx.KNN(rel.Tuples[i], k, i)

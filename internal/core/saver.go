@@ -1,14 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/metric"
 	"repro/internal/neighbors"
+	"repro/internal/par"
 )
 
 // Options tune Algorithm 1.
@@ -27,6 +29,21 @@ type Options struct {
 	Workers int
 	// Index overrides the automatically built neighbor index over r.
 	Index neighbors.Index
+	// MaxNodes bounds the search nodes Algorithm 1 expands per outlier
+	// (≤ 0: unlimited). When the cap trips mid-search, the best-so-far
+	// adjustment is returned with Adjustment.Exhausted set — feasible
+	// whenever one was found, since every candidate answer is a Lemma 4 /
+	// Proposition 5 witness.
+	MaxNodes int
+	// Deadline is the wall-clock allowance for saving one outlier
+	// (0: none). Like MaxNodes, tripping it degrades to the best-so-far
+	// answer instead of aborting.
+	Deadline time.Duration
+	// BatchTimeout is the wall-clock allowance for a whole SaveAll run,
+	// covering detection and every per-outlier save (0: none). When it
+	// expires, outliers not yet saved are reported in SaveResult.Errs and
+	// the partial result is returned.
+	BatchTimeout time.Duration
 }
 
 // Saver saves outliers against a fixed set r of non-outlying tuples.
@@ -45,8 +62,16 @@ type Saver struct {
 
 // NewSaver precomputes the η-th-neighbor radii of r. r must be outlier-free
 // under cons (use Detect to split first); an empty r cannot save anything
-// and is rejected.
+// and is rejected, as is a relation with NaN/±Inf values (distances over
+// them are undefined and would silently poison every aggregate).
 func NewSaver(r *data.Relation, cons Constraints, opts Options) (*Saver, error) {
+	return NewSaverContext(context.Background(), r, cons, opts)
+}
+
+// NewSaverContext is NewSaver with cancellation: the η-radius precompute
+// pass over r stops promptly once ctx is cancelled and the cancellation is
+// returned as an error.
+func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, opts Options) (*Saver, error) {
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,6 +80,9 @@ func NewSaver(r *data.Relation, cons Constraints, opts Options) (*Saver, error) 
 	}
 	if r.N() == 0 {
 		return nil, fmt.Errorf("core: cannot save outliers against an empty inlier set")
+	}
+	if err := data.ValidateValues(r); err != nil {
+		return nil, err
 	}
 	idx := opts.Index
 	if idx == nil {
@@ -73,14 +101,19 @@ func NewSaver(r *data.Relation, cons Constraints, opts Options) (*Saver, error) 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	parallelFor(r.N(), workers, func(i int) {
-		nn := idx.KNN(r.Tuples[i], cons.Eta, i)
+	cidx := neighbors.WithContext(ctx, idx)
+	errs := par.ForEach(ctx, r.N(), workers, func(i int) error {
+		nn := cidx.KNN(r.Tuples[i], cons.Eta, i)
 		if len(nn) < cons.Eta {
 			s.etaRadius[i] = math.Inf(1)
-			return
+			return nil
 		}
 		s.etaRadius[i] = nn[cons.Eta-1].Dist
+		return nil
 	})
+	if err := par.FirstErr(errs); err != nil {
+		return nil, fmt.Errorf("core: building saver: %w", err)
+	}
 	return s, nil
 }
 
@@ -107,17 +140,29 @@ type saveState struct {
 	bestCost float64 // actual (non-squared) cost
 	bestT2   int     // inlier (tuple index in r) donating the R\X values (-1: none)
 	bestX    data.AttrMask
-	nodes    int
+	// bud meters the search against MaxNodes/Deadline/ctx.
+	bud *budget
 }
 
 // Save finds the near-optimal adjustment of the outlier tuple to
 // (Algorithm 1). The caller is responsible for to actually violating the
 // constraints; saving an inlier simply returns a zero-cost adjustment.
 func (s *Saver) Save(to data.Tuple) Adjustment {
+	return s.SaveContext(context.Background(), to)
+}
+
+// SaveContext is Save under a budget: the search stops as soon as ctx is
+// cancelled, Options.Deadline elapses, or Options.MaxNodes search nodes have
+// been expanded, returning the best-so-far adjustment with Exhausted set.
+// Whenever any answer was found before the trip it is feasible — every
+// intermediate solution is a Lemma 4 / Proposition 5 witness, so degrading
+// never fabricates an infeasible repair.
+func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 	st := &saveState{
 		visited:  make(map[data.AttrMask]struct{}),
 		bestCost: math.Inf(1),
 		bestT2:   -1,
+		bud:      newBudget(ctx, s.opts),
 	}
 	sch := s.rel.Schema
 
@@ -183,15 +228,25 @@ func (s *Saver) Save(to data.Tuple) Adjustment {
 	}
 
 	if st.bestT2 < 0 {
-		return Adjustment{Index: -1, Cost: math.Inf(1), Natural: true, Nodes: st.nodes}
+		// Natural is only a sound classification when the search ran to
+		// completion: an exhausted budget means "no adjustment found in
+		// time", not "no feasible adjustment exists" (§1.2).
+		return Adjustment{
+			Index:     -1,
+			Cost:      math.Inf(1),
+			Natural:   !st.bud.exhausted,
+			Nodes:     st.bud.nodes,
+			Exhausted: st.bud.exhausted,
+		}
 	}
 	adj := data.Compose(to, s.rel.Tuples[st.bestT2], st.bestX)
 	return Adjustment{
-		Index:    -1,
-		Tuple:    adj,
-		Cost:     st.bestCost,
-		Adjusted: data.DiffMask(sch, to, adj),
-		Nodes:    st.nodes,
+		Index:     -1,
+		Tuple:     adj,
+		Cost:      st.bestCost,
+		Adjusted:  data.DiffMask(sch, to, adj),
+		Nodes:     st.bud.nodes,
+		Exhausted: st.bud.exhausted,
 	}
 }
 
@@ -253,7 +308,9 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 		}
 		st.visited[x] = struct{}{}
 	}
-	st.nodes++
+	if st.bud.spend() {
+		return
+	}
 
 	// Proposition 3: fewer than η candidates on X means no feasible
 	// adjustment keeps t_o[X]; prune the whole branch (children's
@@ -290,6 +347,9 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 	// Recurse on X ∪ {A} for each adjustable attribute A.
 	epsAcc := s.threshold(s.cons.Eps)
 	for a := 0; a < s.m; a++ {
+		if st.bud.exhausted {
+			return // unwind without building more child candidate sets
+		}
 		if x.Has(a) {
 			continue
 		}
@@ -366,6 +426,9 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 	cand := make([]int, 0, len(rootCand))
 	sub := make([]float64, 0, len(rootCand))
 	for {
+		if st.bud.stopped() {
+			return
+		}
 		x := data.FullMask(m)
 		for _, a := range compl {
 			x = x.Without(a)
@@ -488,34 +551,4 @@ func partition(vals []float64, lo, hi int) int {
 	}
 	vals[i], vals[hi] = vals[hi], vals[i]
 	return i
-}
-
-// parallelFor runs fn(i) for i in [0, n) across the given worker count.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 1 || n < 2*workers {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -26,6 +27,20 @@ type Config struct {
 	// Verbose writers receive progress lines during long runs (nil
 	// silences them).
 	Progress io.Writer
+	// Ctx, when non-nil, bounds the run: the DISC saves and neighbor
+	// counting passes inside each experiment stop once it is cancelled
+	// (the runner then reports the cancellation as its error).
+	Ctx context.Context
+	// Workers bounds the per-method parallelism (≤ 0: GOMAXPROCS).
+	Workers int
+}
+
+// context returns the run's context, never nil.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) scale(def float64) float64 {

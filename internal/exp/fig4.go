@@ -58,7 +58,7 @@ func runFig4(cfg Config) (*Result, error) {
 	// Flat baselines (independent of ε and η).
 	baselines := map[string]fig4Scores{}
 	for _, method := range []string{"ERACER", "HoloClean", "Holistic"} {
-		rel, _ := applyMethod(method, ds)
+		rel, _ := applyMethod(cfg, method, ds)
 		if rel != nil {
 			baselines[method] = fig4Cluster(rel, ds)
 		}

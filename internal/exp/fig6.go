@@ -95,7 +95,7 @@ func runFig6(cfg Config) (*Result, error) {
 		}
 
 		for _, method := range []string{"ERACER", "HoloClean", "Holistic"} {
-			rel, elapsed := applyMethod(method, ds)
+			rel, elapsed := applyMethod(cfg, method, ds)
 			f1Row = append(f1Row, score(rel))
 			if rel == nil {
 				tcRow = append(tcRow, "-")

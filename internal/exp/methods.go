@@ -28,15 +28,17 @@ func discKappa(dataset string) int {
 
 // applyMethod runs the named outlier-handling method over the dataset and
 // returns the treated relation plus the elapsed wall time. Methods that do
-// not apply to a schema (e.g. ERACER over text) return (nil, 0).
-func applyMethod(name string, ds *data.Dataset) (*data.Relation, time.Duration) {
+// not apply to a schema (e.g. ERACER over text) return (nil, 0), as does a
+// method cut short by the run's context.
+func applyMethod(cfg Config, name string, ds *data.Dataset) (*data.Relation, time.Duration) {
 	start := time.Now()
 	switch name {
 	case "Raw":
 		return ds.Rel, 0
 	case "DISC":
-		res, err := core.SaveAll(ds.Rel, core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
-			core.Options{Kappa: discKappa(ds.Name)})
+		res, err := core.SaveAllContext(cfg.context(), ds.Rel,
+			core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
+			core.Options{Kappa: discKappa(ds.Name), Workers: cfg.Workers})
 		if err != nil {
 			return nil, 0
 		}

@@ -45,7 +45,7 @@ func runTable2(cfg Config) (*Result, error) {
 		f1Row := []string{name}
 		tcRow := []string{name}
 		for _, method := range methodNames {
-			rel, elapsed := applyMethod(method, ds)
+			rel, elapsed := applyMethod(cfg, method, ds)
 			if rel == nil {
 				nmiRow = append(nmiRow, "-")
 				ariRow = append(ariRow, "-")

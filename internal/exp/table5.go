@@ -32,7 +32,7 @@ func runTable5(cfg Config) (*Result, error) {
 		cfg.progressf("table5: %s (n=%d)\n", name, ds.N())
 		row := []string{name}
 		for _, method := range methodNames {
-			rel, _ := applyMethod(method, ds)
+			rel, _ := applyMethod(cfg, method, ds)
 			if rel == nil {
 				row = append(row, "-")
 				continue

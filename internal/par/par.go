@@ -1,0 +1,127 @@
+// Package par is the shared worker pool of the pipeline: a context-aware,
+// panic-recovering parallel for-loop. Saving one outlier is NP-hard, so any
+// fan-out over outliers (or tuples, or restarts) must survive a panic in one
+// item and stop dispatching promptly once the caller's context is cancelled —
+// otherwise a single poisoned tuple or a missed deadline takes the whole
+// batch down with it.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ItemError records one item of a ForEach that did not complete: its index
+// and what happened (a recovered panic, fn's error, or the context's error
+// for items skipped after cancellation).
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e ItemError) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e ItemError) Unwrap() error { return e.Err }
+
+// FirstErr returns the error of the lowest-indexed failed item, or nil.
+func FirstErr(errs []ItemError) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}
+
+// ForEach runs fn(i) for every i in [0, n) across up to workers goroutines
+// (≤ 0 means GOMAXPROCS). It differs from a plain WaitGroup fan-out in two
+// ways that matter for long-running saves:
+//
+//   - A panic inside fn is recovered and recorded as that item's error;
+//     every other item still runs. The pool never crashes the process.
+//   - Once ctx is cancelled no new item is started: items already running
+//     finish (fn is expected to honor ctx itself for intra-item promptness)
+//     and every undispatched index is recorded with the context's error.
+//
+// The returned slice is sorted by index and nil when every item completed
+// without error — so the zero-cost happy path stays allocation-free.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) []ItemError {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		errs []ItemError
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		errs = append(errs, ItemError{Index: i, Err: err})
+		mu.Unlock()
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, fmt.Errorf("panic: %v", r))
+			}
+		}()
+		if err := fn(i); err != nil {
+			record(i, err)
+		}
+	}
+	done := ctx.Done()
+	worker := func() {
+		for {
+			if done != nil {
+				select {
+				case <-done:
+					// Drain: claim the remaining indexes so they are
+					// accounted for, but do not run them.
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						record(i, ctx.Err())
+					}
+				default:
+				}
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			runOne(i)
+		}
+	}
+
+	if workers == 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return errs
+}
