@@ -1,9 +1,18 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz
+# Perf-trajectory suite: core save/detect, downstream clustering, and the
+# three neighbor indexes. `make bench` snapshots it into $(BENCHOUT) under
+# $(BENCHKEY) (conventionally "before" at the start of a perf change and
+# "after" at the end) via cmd/benchjson, which merges rather than
+# overwrites so both snapshots survive in the committed file.
+BENCHOUT ?= BENCH_2.json
+BENCHKEY ?= after
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$
 
-check: build vet race fuzz
+.PHONY: check build vet test race fuzz bench bench-check
+
+check: build vet race bench-check fuzz
 
 build:
 	$(GO) build ./...
@@ -16,6 +25,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . ./internal/neighbors > .bench.out.tmp
+	$(GO) run ./cmd/benchjson -out $(BENCHOUT) -key $(BENCHKEY) < .bench.out.tmp
+	rm -f .bench.out.tmp
+
+# Smoke pass: run every benchmark in the tree exactly once so a benchmark
+# that panics or regresses into an error fails tier-1 without paying for a
+# full measurement run.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /dev/null
 
 # Each fuzz target needs its own invocation: go test allows one -fuzz
 # pattern per package run.

@@ -166,9 +166,14 @@ func BenchmarkSaveSingle(b *testing.B) {
 	to := ds.Rel.Tuples[det.Outliers[0]]
 	b.ReportAllocs()
 	b.ResetTimer()
+	nodes := 0
 	for i := 0; i < b.N; i++ {
-		saver.Save(to)
+		adj := saver.Save(to)
+		nodes = adj.Nodes
 	}
+	// Nodes expanded per save: the unit the O(m^{κ+1}·n) analysis counts,
+	// reported so BENCH_*.json tracks search effort alongside ns/op.
+	b.ReportMetric(float64(nodes), "nodes")
 }
 
 // BenchmarkExactSingle measures the §2.3 enumeration baseline on the same
@@ -192,6 +197,28 @@ func BenchmarkExactSingle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex.Save(to)
+	}
+}
+
+// BenchmarkClusterDBSCAN measures the downstream density clustering pass
+// that consumes repaired relations.
+func BenchmarkClusterDBSCAN(b *testing.B) {
+	ds, cons := ablationWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disc.DBSCAN(ds.Rel, disc.DBSCANConfig{Eps: cons.Eps, MinPts: cons.Eta})
+	}
+}
+
+// BenchmarkClusterKMeans measures the centroid clustering pass at the
+// dataset's ground-truth K.
+func BenchmarkClusterKMeans(b *testing.B) {
+	ds, _ := ablationWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := disc.KMeans(ds.Rel, disc.KMeansConfig{K: ds.Classes, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -23,6 +25,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the profile flushes installed below
+// execute on every path — os.Exit would skip them.
+func run() int {
 	var (
 		id      = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
 		list    = flag.Bool("list", false, "list the available experiments")
@@ -33,6 +41,8 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv or markdown")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		workers = flag.Int("workers", 0, "per-method parallelism (0 = GOMAXPROCS)")
+		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof = flag.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
 	)
 	flag.Parse()
 
@@ -40,11 +50,11 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "discbench: -exp or -list required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 
 	var runs []exp.Experiment
@@ -54,9 +64,41 @@ func main() {
 		e, ok := exp.Find(*id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "discbench: unknown experiment %q (try -list)\n", *id)
-			os.Exit(2)
+			return 2
 		}
 		runs = []exp.Experiment{e}
+	}
+
+	// Profiles flush on every return path, including error and interrupt
+	// exits — a run killed by -timeout is exactly the one worth profiling.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
+			}
+		}()
 	}
 
 	// SIGINT/SIGTERM (and -timeout) cancel the context: the experiment in
@@ -77,13 +119,13 @@ func main() {
 	for _, e := range runs {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "discbench: interrupted before %s: %v\n", e.ID, ctx.Err())
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "discbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
 		switch *format {
@@ -91,7 +133,7 @@ func main() {
 			for i := range res.Tables {
 				if err := res.Tables[i].FprintCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "discbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		case "markdown", "md":
@@ -111,6 +153,7 @@ func main() {
 	// than erroring; report the truncation so scripts can tell.
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "discbench: run interrupted (%v); results above are partial\n", ctx.Err())
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -24,9 +24,9 @@ type budget struct {
 // deadline while large ones do not pay a syscall per node.
 const deadlineCheckMask = 31
 
-// newBudget derives the per-save budget from the context and options.
-func newBudget(ctx context.Context, opts Options) *budget {
-	b := &budget{maxNodes: opts.MaxNodes}
+// makeBudget derives the per-save budget from the context and options.
+func makeBudget(ctx context.Context, opts Options) budget {
+	b := budget{maxNodes: opts.MaxNodes}
 	if ctx != nil {
 		b.done = ctx.Done()
 	}
@@ -34,6 +34,13 @@ func newBudget(ctx context.Context, opts Options) *budget {
 		b.deadline = time.Now().Add(opts.Deadline)
 	}
 	return b
+}
+
+// newBudget is makeBudget on the heap, for callers that share the budget
+// across helpers.
+func newBudget(ctx context.Context, opts Options) *budget {
+	b := makeBudget(ctx, opts)
+	return &b
 }
 
 // spend consumes one search node and reports whether the search must stop.

@@ -121,12 +121,22 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	errs := par.ForEach(ctx, len(det.Outliers), workers, func(k int) error {
+	if workers > len(det.Outliers) {
+		workers = len(det.Outliers)
+	}
+	// One search arena per worker: the slabs are reused across every
+	// outlier a worker saves, and worker ids are stable for the whole
+	// fan-out, so the hot path shares no mutable state and needs no pool.
+	arenas := make([]*saveArena, workers)
+	for w := range arenas {
+		arenas[w] = new(saveArena)
+	}
+	errs := par.ForEachWorker(ctx, len(det.Outliers), workers, func(w, k int) error {
 		if saveAllHook != nil {
 			saveAllHook(k)
 		}
 		oi := det.Outliers[k]
-		adj := saver.SaveContext(ctx, rel.Tuples[oi])
+		adj := saver.save(ctx, rel.Tuples[oi], arenas[w])
 		adj.Index = oi
 		res.Adjustments[k] = adj
 		return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/data"
@@ -58,6 +59,9 @@ type Saver struct {
 	etaRadius []float64
 	m         int
 	sqNorm    bool // L2: accumulate squared per-attribute distances
+	// arenas recycles saveArena scratch across Save/SaveContext calls;
+	// SaveAll bypasses it with explicit per-worker arenas.
+	arenas sync.Pool
 }
 
 // NewSaver precomputes the η-th-neighbor radii of r. r must be outlier-free
@@ -97,6 +101,7 @@ func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, op
 		m:         r.Schema.M(),
 		sqNorm:    r.Schema.Norm == metric.L2,
 	}
+	s.arenas.New = func() any { return new(saveArena) }
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -125,8 +130,11 @@ func (s *Saver) Constraints() Constraints { return s.cons }
 
 // saveState is the per-outlier working set of Algorithm 1. Candidates are
 // compacted: position c stands for inlier ids[c], so the distance tables
-// only cover tuples that can ever matter.
+// only cover tuples that can ever matter. All slice fields are backed by a
+// saveArena and valid only for the duration of one save.
 type saveState struct {
+	// ar owns the scratch slabs the recursion draws from.
+	ar *saveArena
 	// ids maps compact candidate positions to tuple indexes in r.
 	ids []int
 	// attrD[c*m+a] is the per-attribute distance Δ(t_o[a], t_{ids[c]}[a])
@@ -141,7 +149,7 @@ type saveState struct {
 	bestT2   int     // inlier (tuple index in r) donating the R\X values (-1: none)
 	bestX    data.AttrMask
 	// bud meters the search against MaxNodes/Deadline/ctx.
-	bud *budget
+	bud budget
 }
 
 // Save finds the near-optimal adjustment of the outlier tuple to
@@ -158,11 +166,23 @@ func (s *Saver) Save(to data.Tuple) Adjustment {
 // intermediate solution is a Lemma 4 / Proposition 5 witness, so degrading
 // never fabricates an infeasible repair.
 func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
-	st := &saveState{
-		visited:  make(map[data.AttrMask]struct{}),
+	ar := s.arenas.Get().(*saveArena)
+	adj := s.save(ctx, to, ar)
+	s.arenas.Put(ar)
+	return adj
+}
+
+// save runs one Algorithm 1 search with its scratch memory drawn from ar.
+// The arena must not be shared with a concurrent save.
+func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustment {
+	ar.reset(s.m)
+	st := &ar.st
+	*st = saveState{
+		ar:       ar,
+		visited:  ar.visited,
 		bestCost: math.Inf(1),
 		bestT2:   -1,
-		bud:      newBudget(ctx, s.opts),
+		bud:      makeBudget(ctx, s.opts),
 	}
 	sch := s.rel.Schema
 
@@ -184,22 +204,25 @@ func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 		}
 	}
 
-	// Materialize the compact candidate tables.
+	// Materialize the compact candidate tables in the arena.
 	if math.IsInf(st.bestCost, 1) {
-		st.ids = make([]int, s.rel.N())
+		st.ids = grow(ar.ids, s.rel.N())
 		for i := range st.ids {
 			st.ids[i] = i
 		}
 	} else {
 		ball := s.idx.Within(to, s.cons.Eps+st.bestCost, -1)
-		st.ids = make([]int, len(ball))
+		st.ids = grow(ar.ids, len(ball))
 		for c, nb := range ball {
 			st.ids[c] = nb.Idx
 		}
 	}
+	ar.ids = st.ids
 	c := len(st.ids)
-	st.attrD = make([]float64, c*s.m)
-	st.fullD = make([]float64, c)
+	st.attrD = grow(ar.attrD, c*s.m)
+	ar.attrD = st.attrD
+	st.fullD = grow(ar.fullD, c)
+	ar.fullD = st.fullD
 	for ci, i := range st.ids {
 		t := s.rel.Tuples[i]
 		acc := 0.0
@@ -214,12 +237,15 @@ func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 		st.fullD[ci] = acc
 	}
 
-	// Root candidate set: X = ∅ admits every (truncated) inlier.
-	cand := make([]int, c)
+	// Root candidate set: X = ∅ admits every (truncated) inlier. The root
+	// lists live in the depth-0 slabs; recurse builds each child's list in
+	// the slab one depth down.
+	cand := ar.intsAt(0, c)[:c]
+	subD := ar.floatsAt(0, c)[:c] // d_X aggregate per candidate (squared under L2)
 	for ci := range cand {
 		cand[ci] = ci
+		subD[ci] = 0
 	}
-	subD := make([]float64, c) // d_X aggregate per candidate (squared under L2)
 
 	if kappaRestricted {
 		s.forEachStartMask(st, cand, subD)
@@ -256,10 +282,14 @@ func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 // feasible position at all.
 func (s *Saver) initialBound(to data.Tuple) (int, float64) {
 	// Grow k geometrically: the nearest feasible inlier is almost always
-	// among the first few nearest neighbors.
+	// among the first few nearest neighbors. Each round resumes where the
+	// previous one stopped — KNN(k) is a prefix of KNN(4k) because every
+	// index breaks distance ties deterministically by tuple index — so the
+	// η-radius check never re-scans positions already rejected.
+	checked := 0
 	for k := 4; ; k *= 4 {
 		nn := s.idx.KNN(to, k, -1)
-		for _, nb := range nn {
+		for _, nb := range nn[min(checked, len(nn)):] {
 			if s.etaRadius[nb.Idx] <= s.cons.Eps {
 				return nb.Idx, nb.Dist
 			}
@@ -267,6 +297,7 @@ func (s *Saver) initialBound(to data.Tuple) (int, float64) {
 		if len(nn) < k { // exhausted r
 			return -1, math.Inf(1)
 		}
+		checked = len(nn)
 	}
 }
 
@@ -344,8 +375,12 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 		}
 	}
 
-	// Recurse on X ∪ {A} for each adjustable attribute A.
+	// Recurse on X ∪ {A} for each adjustable attribute A. Each child list
+	// is built in the slab for depth |X|+1: the previous child at that
+	// depth has fully unwound by the time the next one is filtered, so the
+	// slab is free for reuse and the whole descent allocates nothing.
 	epsAcc := s.threshold(s.cons.Eps)
+	depth := x.Count()
 	for a := 0; a < s.m; a++ {
 		if st.bud.exhausted {
 			return // unwind without building more child candidate sets
@@ -359,8 +394,8 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 				continue
 			}
 		}
-		childCand := make([]int, 0, len(cand))
-		childSub := make([]float64, 0, len(cand))
+		childCand := st.ar.intsAt(depth+1, len(cand))
+		childSub := st.ar.floatsAt(depth+1, len(cand))
 		for li, c := range cand {
 			nd := s.accumulate(subD[li], st.attrD[c*s.m+a])
 			if nd <= epsAcc {
@@ -412,8 +447,10 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 		// A candidate can appear in some r_ε(t_o[X]) with |X| = m−κ only
 		// if dropping its κ most expensive attributes brings the
 		// aggregate under ε; filter the root set once instead of per
-		// mask (most distant tuples fail for every complement).
-		filtered := rootCand[:0:0]
+		// mask (most distant tuples fail for every complement). The
+		// filter compacts rootCand in place — it only ever writes behind
+		// its read cursor.
+		filtered := rootCand[:0]
 		for _, c := range rootCand {
 			if s.bestCaseSub(st, c, kappa) <= epsAcc {
 				filtered = append(filtered, c)
@@ -421,10 +458,11 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 		}
 		rootCand = filtered
 	}
-	// Scratch buffers reused across the C(m, κ) masks; recurse only reads
-	// them and copies what it keeps.
-	cand := make([]int, 0, len(rootCand))
-	sub := make([]float64, 0, len(rootCand))
+	// Per-mask lists live in the slab for depth m−κ (the start masks'
+	// |X|), reused across the C(m, κ) masks; recurse only reads them and
+	// filters what it keeps into deeper slabs.
+	var cand []int
+	var sub []float64
 	for {
 		if st.bud.stopped() {
 			return
@@ -434,8 +472,8 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 			x = x.Without(a)
 		}
 		// Filter the root candidates down to r_ε(t_o[X]).
-		cand = cand[:0]
-		sub = sub[:0]
+		cand = st.ar.intsAt(m-kappa, len(rootCand))
+		sub = st.ar.floatsAt(m-kappa, len(rootCand))
 		for _, c := range rootCand {
 			var acc float64
 			if decomposable {
@@ -480,7 +518,11 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 // largest per-attribute terms (valid for the decomposable norms).
 func (s *Saver) bestCaseSub(st *saveState, c, kappa int) float64 {
 	// Track the κ largest attribute terms (κ is small: 1–3 typically).
-	top := make([]float64, kappa)
+	top := grow(st.ar.top, kappa)
+	st.ar.top = top
+	for i := range top {
+		top[i] = 0
+	}
 	for a := 0; a < s.m; a++ {
 		d := st.attrD[c*s.m+a]
 		// Insert into the running top-κ (insertion into a tiny array).
@@ -501,9 +543,12 @@ func (s *Saver) bestCaseSub(st *saveState, c, kappa int) float64 {
 }
 
 // quickselectKth returns the k-th smallest (1-based) full-space aggregate
-// among the candidates, without fully sorting.
+// among the candidates, without fully sorting. The value scratch is arena
+// scratch: quickselect finishes before the recursion continues, so one
+// buffer serves every node.
 func quickselectKth(st *saveState, cand []int, k int) float64 {
-	vals := make([]float64, len(cand))
+	vals := grow(st.ar.qsel, len(cand))
+	st.ar.qsel = vals
 	for ci, i := range cand {
 		vals[ci] = st.fullD[i]
 	}

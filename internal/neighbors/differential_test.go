@@ -1,0 +1,181 @@
+package neighbors
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metric"
+)
+
+// diffRelation builds a relation for the differential suite: numeric
+// attributes with mixed scales, a chosen norm, and every tuple duplicated
+// so distance ties are everywhere (including at every k-NN boundary).
+func diffRelation(n, m int, norm metric.Norm, seed int64, duplicate bool) *data.Relation {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	s := data.NewNumericSchema(names...)
+	s.Norm = norm
+	for a := range s.Attrs {
+		if a%2 == 1 {
+			s.Attrs[a].Scale = 10 // heterogeneous units, like Time vs Longitude
+		}
+	}
+	r := data.NewRelation(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		t := make(data.Tuple, m)
+		for a := range t {
+			// Snap to a coarse lattice so exact ties also arise between
+			// distinct tuples, not only between duplicates.
+			t[a] = data.Num(float64(rng.Intn(12)))
+			if s.Attrs[a].Scale > 0 {
+				t[a] = data.Num(t[a].Num * s.Attrs[a].Scale)
+			}
+		}
+		r.Append(t)
+		if duplicate {
+			r.Append(t.Clone())
+		}
+	}
+	return r
+}
+
+// TestDifferentialIndexEquivalence pins Brute, Grid, VP-tree and k-d tree
+// to identical answers for Within, CountWithin and KNN across norms,
+// scaled attributes, duplicated tuples (ties at every boundary) and skip
+// values. KNN answers are compared element-wise: the deterministic
+// (distance, index) tie-break makes the full neighbor list, indexes
+// included, part of the contract.
+func TestDifferentialIndexEquivalence(t *testing.T) {
+	for _, norm := range []metric.Norm{metric.L2, metric.L1, metric.LInf} {
+		for _, duplicate := range []bool{false, true} {
+			r := diffRelation(150, 3, norm, int64(7+int(norm)), duplicate)
+			brute := NewBrute(r)
+			indexes := map[string]Index{
+				"grid":   NewGrid(r, 1.5),
+				"vptree": NewVPTree(r, 3),
+				"kdtree": NewKDTree(r),
+			}
+			// An L1/L∞ numeric schema must route to the grid now; keep the
+			// routed index in the comparison so the Build path is what the
+			// differential suite actually exercises.
+			indexes["built"] = Build(r, 1.5)
+			if _, ok := indexes["built"].(*Grid); !ok {
+				t.Fatalf("norm %v: Build routed to %T, want *Grid", norm, indexes["built"])
+			}
+
+			rng := rand.New(rand.NewSource(int64(31 + int(norm))))
+			for trial := 0; trial < 40; trial++ {
+				q := make(data.Tuple, 3)
+				for a := range q {
+					q[a] = data.Num(rng.Float64() * 12)
+					if s := r.Schema.Attrs[a].Scale; s > 0 {
+						q[a] = data.Num(q[a].Num * s)
+					}
+				}
+				if trial%4 == 0 {
+					q = r.Tuples[rng.Intn(r.N())] // exact hits maximize ties
+				}
+				eps := 0.5 + rng.Float64()*4
+				skip := -1
+				if trial%3 == 0 {
+					skip = rng.Intn(r.N())
+				}
+				k := 1 + rng.Intn(12)
+
+				want := brute.Within(q, eps, skip)
+				wantK := brute.KNN(q, k, skip)
+				for name, idx := range indexes {
+					sameNeighborSet(t, name+".Within", idx.Within(q, eps, skip), want)
+					if got := idx.CountWithin(q, eps, skip, 0); got != len(want) {
+						t.Fatalf("%s.CountWithin(norm=%v) = %d, want %d", name, norm, got, len(want))
+					}
+					capped := len(want) / 2
+					if capped > 0 {
+						if got := idx.CountWithin(q, eps, skip, capped); got != capped {
+							t.Fatalf("%s.CountWithin(cap=%d) = %d", name, capped, got)
+						}
+					}
+					gotK := idx.KNN(q, k, skip)
+					if len(gotK) != len(wantK) {
+						t.Fatalf("%s.KNN(norm=%v, dup=%v) returned %d, want %d", name, norm, duplicate, len(gotK), len(wantK))
+					}
+					for i := range gotK {
+						if gotK[i] != wantK[i] {
+							t.Fatalf("%s.KNN(norm=%v, dup=%v)[%d] = %+v, want %+v (tie-break must be deterministic)",
+								name, norm, duplicate, i, gotK[i], wantK[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNNPrefixProperty checks that KNN(k) is a prefix of KNN(k') for
+// k < k' on every index — the property Saver.initialBound relies on to
+// resume its geometric k-NN growth without re-checking earlier positions.
+func TestKNNPrefixProperty(t *testing.T) {
+	r := diffRelation(120, 3, metric.L2, 11, true)
+	for _, idx := range []Index{NewBrute(r), NewGrid(r, 1.5), NewVPTree(r, 5), NewKDTree(r)} {
+		q := r.Tuples[17]
+		prev := idx.KNN(q, 4, 17)
+		for _, k := range []int{16, 64} {
+			nn := idx.KNN(q, k, 17)
+			if len(nn) < len(prev) {
+				t.Fatalf("%T: KNN(%d) shorter than previous round", idx, k)
+			}
+			for i := range prev {
+				if nn[i] != prev[i] {
+					t.Fatalf("%T: KNN(%d)[%d] = %+v, want prefix %+v", idx, k, i, nn[i], prev[i])
+				}
+			}
+			prev = nn
+		}
+	}
+}
+
+// TestGridKNNDegradesOnPathologicalDistribution forces the radius-doubling
+// loop into its tooWide cutoff: a tight cluster plus one query far outside
+// it used to double ~30 times toward the 1<<30 escape hatch; now the cube
+// bound degrades to the brute path after a handful of rounds, and the
+// answer still matches Brute exactly.
+func TestGridKNNDegradesOnPathologicalDistribution(t *testing.T) {
+	r := data.NewRelation(data.NewNumericSchema("x", "y"))
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		r.Append(data.Tuple{data.Num(rng.Float64()), data.Num(rng.Float64())})
+	}
+	g := NewGrid(r, 1e-6) // tiny cells: every widening round is useless
+	brute := NewBrute(r)
+	q := data.Tuple{data.Num(1e9), data.Num(-1e9)}
+	got := g.KNN(q, 5, -1)
+	want := brute.KNN(q, 5, -1)
+	if len(got) != len(want) {
+		t.Fatalf("degraded KNN returned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degraded KNN[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGridVisitZeroAlloc asserts the steady-state allocation contract of
+// the cell walk: a counting query keeps its odometer and key buffer on the
+// stack and probes the cell map with the alloc-free string(b) form, so a
+// full CountWithin performs zero heap allocations per visited cell — and
+// zero per query.
+func TestGridVisitZeroAlloc(t *testing.T) {
+	r := diffRelation(400, 3, metric.L2, 17, false)
+	g := NewGrid(r, 1.5)
+	q := r.Tuples[42]
+	if got := testing.AllocsPerRun(200, func() {
+		g.CountWithin(q, 1.5, 42, 0)
+	}); got != 0 {
+		t.Errorf("CountWithin allocates %.1f times per query, want 0", got)
+	}
+}

@@ -10,13 +10,24 @@ import (
 // to the query radius hint. A range query with radius ≤ cell visits the
 // 3^m surrounding cells, so the grid suits m ≤ 6 (GPS and Flight have
 // m = 3). Radii larger than the cell size widen the visited cube
-// accordingly, so correctness never depends on the hint.
+// accordingly, so correctness never depends on the hint. The cube bound is
+// valid for every supported norm: each per-attribute (scaled) distance is
+// bounded by the L1/L2/L∞ aggregate, so a tuple within ε in aggregate is
+// within ε on every axis.
 type Grid struct {
 	r     *data.Relation
 	cell  float64
 	cells map[string][]int
 	m     int
+	// brute is the pre-built fallback for queries whose cell cube would
+	// cost more than a scan; hoisted here so fallbacks allocate nothing.
+	brute *Brute
 }
+
+// gridStackDims bounds the dimensionality for which a query walks the cell
+// cube with stack-resident coordinate and key buffers; wider (unusual)
+// grids fall back to per-query heap buffers.
+const gridStackDims = 8
 
 // NewGrid indexes the relation with the given cell size (clamped to a small
 // positive value). It panics on non-numeric schemas, which would be a
@@ -30,9 +41,14 @@ func NewGrid(r *data.Relation, cell float64) *Grid {
 	if cell <= 0 {
 		cell = 1
 	}
-	g := &Grid{r: r, cell: cell, cells: make(map[string][]int), m: r.Schema.M()}
+	g := &Grid{r: r, cell: cell, cells: make(map[string][]int), m: r.Schema.M(), brute: NewBrute(r)}
+	kb := make([]byte, 0, g.m*8)
 	for i, t := range r.Tuples {
-		k := g.key(t)
+		kb = kb[:0]
+		for a := 0; a < g.m; a++ {
+			kb = appendCoord(kb, g.coord(t, a))
+		}
+		k := string(kb) // insertion must materialize the key string
 		g.cells[k] = append(g.cells[k], i)
 	}
 	return g
@@ -51,38 +67,42 @@ func (g *Grid) coord(t data.Tuple, a int) int {
 	return int(math.Floor(v / g.cell))
 }
 
-func (g *Grid) key(t data.Tuple) string {
-	// Fixed-width little-endian encoding of the coordinates; strings make
-	// cheap map keys without a 64-bit hash collision analysis.
-	b := make([]byte, 0, g.m*8)
-	for a := 0; a < g.m; a++ {
-		c := uint64(int64(g.coord(t, a)))
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(c>>uint(s)))
-		}
+// appendCoord appends the fixed-width little-endian encoding of one grid
+// coordinate; fixed-width string keys make cheap map keys without a 64-bit
+// hash collision analysis.
+func appendCoord(b []byte, c int) []byte {
+	u := uint64(int64(c))
+	for s := 0; s < 64; s += 8 {
+		b = append(b, byte(u>>uint(s)))
 	}
-	return string(b)
+	return b
 }
 
 // visit walks every cell within reach cells of q's cell in each dimension
 // and calls fn with the tuple indexes stored there. fn returns false to
-// stop early.
+// stop early. The coordinate odometer and the key buffer live on the stack
+// (for m ≤ gridStackDims) and are reused across cells, so the walk itself
+// performs zero heap allocations: the map probe converts the key buffer
+// with the alloc-free string(b) lookup form.
 func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
-	base := make([]int, g.m)
+	var baseA, offA [gridStackDims]int
+	var keyA [gridStackDims * 8]byte
+	var base, off []int
+	var kb []byte
+	if g.m <= gridStackDims {
+		base, off, kb = baseA[:g.m], offA[:g.m], keyA[:0]
+	} else {
+		base, off = make([]int, g.m), make([]int, g.m)
+		kb = make([]byte, 0, g.m*8)
+	}
 	for a := 0; a < g.m; a++ {
 		base[a] = g.coord(q, a)
-	}
-	off := make([]int, g.m)
-	for a := range off {
 		off[a] = -reach
 	}
 	for {
-		b := make([]byte, 0, g.m*8)
+		b := kb[:0]
 		for a := 0; a < g.m; a++ {
-			c := uint64(int64(base[a] + off[a]))
-			for s := 0; s < 64; s += 8 {
-				b = append(b, byte(c>>uint(s)))
-			}
+			b = appendCoord(b, base[a]+off[a])
 		}
 		if idx, ok := g.cells[string(b)]; ok {
 			if !fn(idx) {
@@ -104,6 +124,11 @@ func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
 	}
 }
 
+// reach converts a query radius into the cell reach of the visited cube.
+func (g *Grid) reach(eps float64) int {
+	return int(math.Ceil(eps/g.cell)) + 1
+}
+
 // tooWide reports whether a query radius spans so many cells that the
 // odometer walk would visit more cells than a brute scan costs.
 func (g *Grid) tooWide(reach int) bool {
@@ -119,12 +144,11 @@ func (g *Grid) tooWide(reach int) bool {
 
 // Within implements Index.
 func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
-	reach := int(math.Ceil(eps/g.cell)) + 1
-	if g.tooWide(reach) {
-		return NewBrute(g.r).Within(q, eps, skip)
+	if g.tooWide(g.reach(eps)) {
+		return g.brute.Within(q, eps, skip)
 	}
 	var out []Neighbor
-	g.visit(q, reach, func(idx []int) bool {
+	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
 			if i == skip {
 				continue
@@ -140,12 +164,11 @@ func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 
 // CountWithin implements Index.
 func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
-	reach := int(math.Ceil(eps/g.cell)) + 1
-	if g.tooWide(reach) {
-		return NewBrute(g.r).CountWithin(q, eps, skip, cap)
+	if g.tooWide(g.reach(eps)) {
+		return g.brute.CountWithin(q, eps, skip, cap)
 	}
 	c := 0
-	g.visit(q, reach, func(idx []int) bool {
+	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
 			if i == skip {
 				continue
@@ -164,7 +187,10 @@ func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 
 // KNN implements Index by expanding the search radius geometrically until k
 // results fit inside it, which keeps the visited cube small for clustered
-// data.
+// data. The rounds are capped by the tooWide cell-count bound: once the
+// cube would visit more cells than the relation has tuples — after at most
+// O(log n / m) doublings even on pathological distributions — the query
+// degrades to the pre-built Brute scan instead of widening further.
 func (g *Grid) KNN(q data.Tuple, k, skip int) []Neighbor {
 	if k <= 0 {
 		return nil
@@ -179,23 +205,21 @@ func (g *Grid) KNN(q data.Tuple, k, skip int) []Neighbor {
 	if k == 0 {
 		return nil
 	}
-	radius := g.cell
-	for {
+	for radius := g.cell; ; radius *= 2 {
+		if g.tooWide(g.reach(radius)) {
+			return g.brute.KNN(q, k, skip)
+		}
 		found := g.Within(q, radius, skip)
 		if len(found) >= k {
 			// Heap-select the k nearest; the candidate set can be far
-			// larger than k when the radius overshoots.
+			// larger than k when the radius overshoots. Every distance
+			// tie at the k-th position is inside the radius too, so the
+			// deterministic (distance, index) selection sees all of them.
 			h := newMaxHeap(k)
 			for _, nb := range found {
 				h.offer(nb)
 			}
 			return h.sorted()
-		}
-		radius *= 2
-		// Beyond any plausible data diameter, fall back to a full scan to
-		// guarantee termination on pathological distributions.
-		if radius > g.cell*float64(1<<30) {
-			return NewBrute(g.r).KNN(q, k, skip)
 		}
 	}
 }

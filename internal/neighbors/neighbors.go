@@ -38,7 +38,10 @@ type Index interface {
 // Build picks an index for the relation: a grid when the schema is fully
 // numeric with at most six attributes (range queries touch 3^m cells), a
 // VP-tree otherwise. eps hints the grid cell size; it must be > 0 for the
-// grid path.
+// grid path. The grid serves every supported norm, not only the L2
+// default: each per-attribute (scaled) distance is bounded by the L1, L2
+// and L∞ aggregates alike, so the grid's cell-cube reach bound stays valid
+// for any of them.
 func Build(r *data.Relation, eps float64) Index {
 	numeric := true
 	for _, a := range r.Schema.Attrs {
@@ -47,7 +50,7 @@ func Build(r *data.Relation, eps float64) Index {
 			break
 		}
 	}
-	if numeric && r.Schema.M() <= 6 && eps > 0 && r.Schema.Norm == 0 {
+	if numeric && r.Schema.M() <= 6 && eps > 0 {
 		return NewGrid(r, eps)
 	}
 	if r.N() >= 64 {
@@ -114,8 +117,16 @@ func (b *Brute) KNN(q data.Tuple, k, skip int) []Neighbor {
 	return h.sorted()
 }
 
-// maxHeap keeps the k smallest-distance neighbors seen so far, with the
-// current worst at the root.
+// maxHeap keeps the k smallest neighbors seen so far under the total
+// (distance, index) order, with the current worst at the root.
+//
+// The index tie-break is a correctness contract, not cosmetics: when
+// several tuples sit exactly at the k-th distance, a heap ordered by
+// distance alone keeps whichever it happened to see first, so KNN results
+// would depend on scan order and differ between Brute, Grid, VP-tree and
+// k-d tree. Under the total order every index returns the identical
+// neighbor list — the lowest-indexed tuples among the tied — which also
+// makes KNN(k) a strict prefix of KNN(k') for k' > k.
 type maxHeap struct {
 	k  int
 	ns []Neighbor
@@ -123,8 +134,19 @@ type maxHeap struct {
 
 func newMaxHeap(k int) *maxHeap { return &maxHeap{k: k, ns: make([]Neighbor, 0, k)} }
 
+// worse reports whether a ranks strictly after b in the (distance, index)
+// total order — i.e. a is a worse neighbor than b.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Idx > b.Idx
+}
+
 // bound returns the current k-th distance, or +Inf semantics via ok=false
-// when fewer than k neighbors are held.
+// when fewer than k neighbors are held. Tree descents prune with
+// non-strict comparisons against the bound, so equal-distance subtrees
+// are still visited and can win the index tie-break.
 func (h *maxHeap) bound() (float64, bool) {
 	if len(h.ns) < h.k {
 		return 0, false
@@ -138,7 +160,7 @@ func (h *maxHeap) offer(n Neighbor) {
 		h.up(len(h.ns) - 1)
 		return
 	}
-	if n.Dist >= h.ns[0].Dist {
+	if !worse(h.ns[0], n) {
 		return
 	}
 	h.ns[0] = n
@@ -148,7 +170,7 @@ func (h *maxHeap) offer(n Neighbor) {
 func (h *maxHeap) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.ns[p].Dist >= h.ns[i].Dist {
+		if !worse(h.ns[i], h.ns[p]) {
 			break
 		}
 		h.ns[p], h.ns[i] = h.ns[i], h.ns[p]
@@ -160,10 +182,10 @@ func (h *maxHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < len(h.ns) && h.ns[l].Dist > h.ns[big].Dist {
+		if l < len(h.ns) && worse(h.ns[l], h.ns[big]) {
 			big = l
 		}
-		if r < len(h.ns) && h.ns[r].Dist > h.ns[big].Dist {
+		if r < len(h.ns) && worse(h.ns[r], h.ns[big]) {
 			big = r
 		}
 		if big == i {

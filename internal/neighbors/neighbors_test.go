@@ -202,10 +202,15 @@ func TestBuildSelectsIndex(t *testing.T) {
 	if _, ok := Build(big, 1).(*Grid); !ok {
 		t.Error("numeric low-dim relation should use grid")
 	}
-	wide := randomRelation(500, 3, 1)
-	wide.Schema.Norm = metric.L1
-	if _, ok := Build(wide, 1).(*VPTree); !ok {
-		t.Error("non-L2 norm should use vp-tree")
+	// The grid's reach bound holds for every supported norm, so fully
+	// numeric low-dimensional relations route to it regardless of norm
+	// (a silent VP-tree fallback here was a routing bug).
+	for _, norm := range []metric.Norm{metric.L1, metric.LInf} {
+		byNorm := randomRelation(500, 3, 1)
+		byNorm.Schema.Norm = norm
+		if _, ok := Build(byNorm, 1).(*Grid); !ok {
+			t.Errorf("numeric low-dim relation with %v norm should use grid", norm)
+		}
 	}
 	sixteen := randomRelation(200, 3, 1)
 	sixteen.Schema = data.NewNumericSchema("a", "b", "c", "d", "e", "f", "g")
@@ -264,5 +269,25 @@ func BenchmarkBruteWithin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		br.Within(r.Tuples[i%r.N()], 1.5, i%r.N())
+	}
+}
+
+func BenchmarkGridCountWithin(b *testing.B) {
+	r := randomRelation(10000, 3, 1)
+	g := NewGrid(r, 1.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CountWithin(r.Tuples[i%r.N()], 1.5, i%r.N(), 0)
+	}
+}
+
+func BenchmarkGridKNN(b *testing.B) {
+	r := randomRelation(10000, 3, 1)
+	g := NewGrid(r, 1.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNN(r.Tuples[i%r.N()], 8, i%r.N())
 	}
 }

@@ -50,6 +50,15 @@ func FirstErr(errs []ItemError) error {
 // The returned slice is sorted by index and nil when every item completed
 // without error — so the zero-cost happy path stays allocation-free.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) []ItemError {
+	return ForEachWorker(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn receives the id of the
+// goroutine running it, in [0, min(workers, n)). Ids are stable for the
+// whole call, so callers can hand each worker private scratch memory — a
+// save arena, a reusable buffer — indexed by id with no synchronization
+// (core.SaveAll does exactly this).
+func ForEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) error) []ItemError {
 	if n <= 0 {
 		return nil
 	}
@@ -73,18 +82,18 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) []ItemEr
 		errs = append(errs, ItemError{Index: i, Err: err})
 		mu.Unlock()
 	}
-	runOne := func(i int) {
+	runOne := func(w, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				record(i, fmt.Errorf("panic: %v", r))
 			}
 		}()
-		if err := fn(i); err != nil {
+		if err := fn(w, i); err != nil {
 			record(i, err)
 		}
 	}
 	done := ctx.Done()
-	worker := func() {
+	worker := func(w int) {
 		for {
 			if done != nil {
 				select {
@@ -105,20 +114,20 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) []ItemEr
 			if i >= n {
 				return
 			}
-			runOne(i)
+			runOne(w, i)
 		}
 	}
 
 	if workers == 1 {
-		worker()
+		worker(0)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				worker()
-			}()
+				worker(w)
+			}(w)
 		}
 		wg.Wait()
 	}
