@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_2.json
+BENCHOUT ?= BENCH_3.json
 BENCHKEY ?= after
 BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$
 
-.PHONY: check build vet test race fuzz bench bench-check
+.PHONY: check build vet test race cover fuzz bench bench-check
 
-check: build vet race bench-check fuzz
+check: build vet race cover bench-check fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . ./internal/neighbors > .bench.out.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) -key $(BENCHKEY) < .bench.out.tmp
 	rm -f .bench.out.tmp
+
+# Coverage summary: per-function percentages plus the total line, so a PR
+# that drops a package's coverage shows up in the diff of `make cover`.
+cover:
+	$(GO) test -coverprofile=.cover.out.tmp ./...
+	$(GO) tool cover -func=.cover.out.tmp | tail -n 1
+	rm -f .cover.out.tmp
 
 # Smoke pass: run every benchmark in the tree exactly once so a benchmark
 # that panics or regresses into an error fails tier-1 without paying for a

@@ -2,6 +2,7 @@ package disc_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -105,6 +106,80 @@ func TestCLIDatagenStatsAndTruth(t *testing.T) {
 	}
 }
 
+// TestCLIDisccliObservability drives the PR's acceptance path: a repair run
+// with -progress, -deadline and -stats-json must emit progress lines, finish
+// inside the deadline, and write a stats record with live search counters.
+func TestCLIDisccliObservability(t *testing.T) {
+	datagen := buildTool(t, "datagen")
+	disccli := buildTool(t, "disccli")
+
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "iris.csv")
+	statsPath := filepath.Join(dir, "stats.json")
+
+	out, err := exec.Command(datagen, "-dataset", "Iris", "-seed", "5", "-scale", "0.3").Output()
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	if err := os.WriteFile(raw, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr bytes.Buffer
+	fix := exec.Command(disccli, "-in", raw, "-out", filepath.Join(dir, "fixed.csv"),
+		"-progress", "-deadline", "2m", "-stats-json", statsPath, "-report")
+	fix.Stderr = &stderr
+	if err := fix.Run(); err != nil {
+		t.Fatalf("disccli: %v\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "saving") {
+		t.Errorf("-progress emitted no progress lines:\n%s", log)
+	}
+	if !strings.Contains(log, "not processed") {
+		t.Errorf("-report trailer missing the failure split:\n%s", log)
+	}
+
+	b, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("-stats-json wrote nothing: %v", err)
+	}
+	var rec struct {
+		Tuples   int `json:"tuples"`
+		Outliers int `json:"outliers"`
+		Saved    int `json:"saved"`
+		Stats    struct {
+			Nodes        int64 `json:"nodes"`
+			LBPrunes     int64 `json:"lb_prunes"`
+			MemoHits     int64 `json:"memo_hits"`
+			RangeQueries int64 `json:"range_queries"`
+			DistEvals    int64 `json:"dist_evals"`
+		} `json:"stats"`
+		Timings struct {
+			TotalS float64 `json:"total_s"`
+			SaveS  float64 `json:"save_s"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatalf("stats JSON does not parse: %v\n%s", err, b)
+	}
+	if rec.Tuples == 0 || rec.Outliers == 0 {
+		t.Fatalf("stats record empty: %s", b)
+	}
+	if rec.Stats.Nodes == 0 || rec.Stats.LBPrunes == 0 || rec.Stats.MemoHits == 0 {
+		t.Errorf("live search counters missing (want nodes, lb_prunes, memo_hits all > 0): %s", b)
+	}
+	if rec.Stats.RangeQueries < int64(rec.Tuples) {
+		t.Errorf("range_queries %d < tuples %d — detection pass not counted", rec.Stats.RangeQueries, rec.Tuples)
+	}
+	if rec.Stats.DistEvals == 0 {
+		t.Errorf("no distance evaluations counted: %s", b)
+	}
+	if rec.Timings.TotalS <= 0 || rec.Timings.TotalS < rec.Timings.SaveS {
+		t.Errorf("phase timings inconsistent: %s", b)
+	}
+}
+
 func TestCLIDiscbenchListAndRun(t *testing.T) {
 	discbench := buildTool(t, "discbench")
 
@@ -118,12 +193,34 @@ func TestCLIDiscbenchListAndRun(t *testing.T) {
 		}
 	}
 
-	run, err := exec.Command(discbench, "-exp", "fig9", "-scale", "0.15", "-format", "csv").Output()
-	if err != nil {
-		t.Fatal(err)
+	var runOut, runErr bytes.Buffer
+	bench := exec.Command(discbench, "-exp", "fig9", "-scale", "0.15", "-format", "csv", "-v", "-stats-json", "-")
+	bench.Stdout = &runOut
+	bench.Stderr = &runErr
+	if err := bench.Run(); err != nil {
+		t.Fatalf("fig9: %v\n%s", err, runErr.String())
 	}
-	if !strings.Contains(string(run), "# Fig 9(a)") || !strings.Contains(string(run), "dirty") {
-		t.Errorf("fig9 csv output wrong:\n%s", run)
+	if !strings.Contains(runOut.String(), "# Fig 9(a)") || !strings.Contains(runOut.String(), "dirty") {
+		t.Errorf("fig9 csv output wrong:\n%s", runOut.String())
+	}
+	if !strings.Contains(runErr.String(), "DISC runs") {
+		t.Errorf("-v did not print per-experiment search counters:\n%s", runErr.String())
+	}
+	// -stats-json - appends a JSON map keyed by experiment id to stderr.
+	if i := strings.Index(runErr.String(), "{"); i < 0 {
+		t.Errorf("-stats-json - wrote no JSON:\n%s", runErr.String())
+	} else {
+		var m map[string]struct {
+			Runs  int64 `json:"runs"`
+			Stats struct {
+				Nodes int64 `json:"nodes"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(runErr.String()[i:]), &m); err != nil {
+			t.Errorf("-stats-json output does not parse: %v", err)
+		} else if e := m["fig9"]; e.Runs == 0 || e.Stats.Nodes == 0 {
+			t.Errorf("fig9 stats entry empty: %+v", m)
+		}
 	}
 
 	// Unknown experiment fails cleanly.

@@ -6,11 +6,16 @@
 //
 //	discbench -list
 //	discbench -exp table2 [-scale 0.5] [-seed 1] [-v]
-//	discbench -exp all
+//	discbench -exp all [-stats-json -]
+//
+// With -v, each experiment additionally prints the merged DISC search
+// counters of its saves to stderr; -stats-json writes the same counters as
+// a JSON map keyed by experiment id (see docs/OBSERVABILITY.md).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/viz"
 )
 
@@ -41,8 +47,9 @@ func run() int {
 		format  = flag.String("format", "text", "output format: text, csv or markdown")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		workers = flag.Int("workers", 0, "per-method parallelism (0 = GOMAXPROCS)")
-		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprof = flag.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
+		statsJSON = flag.String("stats-json", "", "write per-experiment DISC search counters as a JSON map to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
@@ -116,16 +123,31 @@ func run() int {
 	if *verb {
 		cfg.Progress = os.Stderr
 	}
+	// One collector per experiment (expvar-style snapshot map keyed by
+	// experiment id when -stats-json is set).
+	type statsEntry struct {
+		Runs  int64           `json:"runs"`
+		Stats obs.SearchStats `json:"stats"`
+	}
+	allStats := map[string]statsEntry{}
 	for _, e := range runs {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "discbench: interrupted before %s: %v\n", e.ID, ctx.Err())
 			return 1
 		}
+		collector := &obs.Collector{}
+		cfg.Stats = collector
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "discbench: %s: %v\n", e.ID, err)
 			return 1
+		}
+		if st, n := collector.Snapshot(); n > 0 {
+			allStats[e.ID] = statsEntry{Runs: n, Stats: st}
+			if *verb {
+				fmt.Fprintf(os.Stderr, "discbench: %s: %d DISC runs: %s\n", e.ID, n, st.String())
+			}
 		}
 		fmt.Printf("== %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
 		switch *format {
@@ -147,6 +169,21 @@ func run() int {
 			for _, tb := range res.Tables {
 				viz.FprintChart(os.Stdout, "chart: "+tb.Title, tb.Header, tb.Rows, 32)
 			}
+		}
+	}
+	if *statsJSON != "" {
+		b, err := json.MarshalIndent(allStats, "", "  ")
+		if err == nil {
+			b = append(b, '\n')
+			if *statsJSON == "-" {
+				_, err = os.Stderr.Write(b)
+			} else {
+				err = os.WriteFile(*statsJSON, b, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discbench: writing stats: %v\n", err)
+			return 1
 		}
 	}
 	// A budget that expired inside an experiment degrades its cells rather

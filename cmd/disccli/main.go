@@ -14,35 +14,49 @@
 // "exhausted" in the -report), skipped outliers are reported, the partial
 // repair is still written, and the exit status is nonzero.
 //
+// The run can be observed while it happens: -progress prints rate-limited
+// progress snapshots to stderr, -log-level enables structured slog output
+// for the pipeline phases and degradation events, and -stats-json dumps the
+// merged search counters and phase timings (see docs/OBSERVABILITY.md for
+// the counter semantics).
+//
 // Usage:
 //
 //	disccli -in data.csv -out repaired.csv [-eps 3 -eta 18] [-kappa 2]
-//	        [-timeout 30s] [-max-nodes 100000] [-workers 8] [-report]
+//	        [-timeout 30s] [-deadline 200ms] [-max-nodes 100000] [-workers 8]
+//	        [-report] [-progress] [-stats-json -] [-log-level info]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	disc "repro"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input CSV file (required)")
-		out      = flag.String("out", "", "output CSV file (default stdout)")
-		eps      = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
-		eta      = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
-		kappa    = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
-		seed     = flag.Int64("seed", 1, "seed for sampling during parameter determination")
-		report   = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the partial repair is written")
-		maxNodes = flag.Int("max-nodes", 0, "search-node budget per outlier (0 = unlimited); tripped saves keep their best-so-far adjustment")
-		workers  = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
+		in        = flag.String("in", "", "input CSV file (required)")
+		out       = flag.String("out", "", "output CSV file (default stdout)")
+		eps       = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
+		eta       = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
+		kappa     = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
+		seed      = flag.Int64("seed", 1, "seed for sampling during parameter determination")
+		report    = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the partial repair is written")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget per outlier (0 = none); tripped saves keep their best-so-far adjustment")
+		maxNodes  = flag.Int("max-nodes", 0, "search-node budget per outlier (0 = unlimited); tripped saves keep their best-so-far adjustment")
+		workers   = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while saving")
+		statsJSON = flag.String("stats-json", "", "write search counters and phase timings as JSON to this file (\"-\" = stderr)")
+		logLevel  = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level (debug|info|warn|error)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -94,11 +108,36 @@ func main() {
 			choice.Eps, choice.Eta, choice.Lambda, choice.OutlierRate, note)
 	}
 
-	res, err := disc.SaveContext(ctx, rel, cons, disc.Options{
+	opts := disc.Options{
 		Kappa:    *kappa,
 		MaxNodes: *maxNodes,
+		Deadline: *deadline,
 		Workers:  *workers,
-	})
+	}
+	if *progress {
+		opts.Progress = func(p disc.Progress) {
+			line := fmt.Sprintf("disccli: saving %d/%d (saved %d, natural %d", p.Done, p.Total, p.Saved, p.Natural)
+			if p.Exhausted > 0 {
+				line += fmt.Sprintf(", exhausted %d", p.Exhausted)
+			}
+			if p.Failed > 0 {
+				line += fmt.Sprintf(", failed %d", p.Failed)
+			}
+			line += ")"
+			if p.ETA > 0 && p.Done < p.Total {
+				line += fmt.Sprintf(" eta %s", p.ETA.Round(100*time.Millisecond))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+		}
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	res, err := disc.SaveContext(ctx, rel, cons, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,6 +170,13 @@ func main() {
 			default:
 				fmt.Fprintf(os.Stderr, "  row %d: no adjustment found before the budget tripped\n", adj.Index+1)
 			}
+		}
+		fmt.Fprintf(os.Stderr, "disccli: report: %d saved, %d natural, %d exhausted, %d not processed\n",
+			res.Saved, res.Natural, res.Exhausted, res.Failed())
+	}
+	if *statsJSON != "" {
+		if err := writeStats(*statsJSON, *in, rel, cons, *kappa, res); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -166,6 +212,44 @@ func writeFile(path string, res *disc.SaveResult) error {
 		return fmt.Errorf("writing %s: %w (partial file removed)", path, werr)
 	}
 	return nil
+}
+
+// writeStats dumps the run's observability record — the merged Algorithm 1
+// search counters and the per-phase wall times — as one JSON document.
+// path "-" selects stderr (stdout may be carrying the repaired CSV).
+func writeStats(path, input string, rel *disc.Relation, cons disc.Constraints, kappa int, res *disc.SaveResult) error {
+	doc := struct {
+		Input     string            `json:"input"`
+		Tuples    int               `json:"tuples"`
+		Attrs     int               `json:"attrs"`
+		Eps       float64           `json:"eps"`
+		Eta       int               `json:"eta"`
+		Kappa     int               `json:"kappa"`
+		Outliers  int               `json:"outliers"`
+		Saved     int               `json:"saved"`
+		Natural   int               `json:"natural"`
+		Exhausted int               `json:"exhausted"`
+		Failed    int               `json:"failed"`
+		Stats     disc.SearchStats  `json:"stats"`
+		Timings   disc.PhaseTimings `json:"timings"`
+	}{
+		Input: input, Tuples: rel.N(), Attrs: rel.Schema.M(),
+		Eps: cons.Eps, Eta: cons.Eta, Kappa: kappa,
+		Outliers: len(res.Detection.Outliers),
+		Saved:    res.Saved, Natural: res.Natural,
+		Exhausted: res.Exhausted, Failed: res.Failed(),
+		Stats: res.Stats, Timings: res.Timings,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func fatal(err error) {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/metric"
 	"repro/internal/neighbors"
+	"repro/internal/obs"
 )
 
 // Core data model (see internal/data).
@@ -111,6 +112,21 @@ type (
 	ParamChoice = core.ParamChoice
 	// SaveError records one outlier a SaveResult could not process.
 	SaveError = core.SaveError
+)
+
+// Observability (see internal/obs). Wire Options.Progress and
+// Options.Logger to receive these; SaveResult carries the merged
+// SearchStats and PhaseTimings of the whole pipeline.
+type (
+	// SearchStats are the Algorithm 1 search counters (nodes expanded,
+	// Proposition 3 prunes, memo hits, Proposition 5 witnesses) plus the
+	// neighbor-index traffic of a run.
+	SearchStats = obs.SearchStats
+	// PhaseTimings breaks a Save run into pipeline phases.
+	PhaseTimings = obs.PhaseTimings
+	// Progress is one snapshot of a running batch, delivered to
+	// Options.Progress at a bounded rate.
+	Progress = obs.Progress
 )
 
 // Detect splits a relation into inliers and outliers under the

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/data"
+import (
+	"repro/internal/data"
+	"repro/internal/neighbors"
+	"repro/internal/obs"
+)
 
 // saveArena is the reusable scratch memory of one Algorithm 1 search. Every
 // slice the hot path needs — the compact candidate tables, one candidate
@@ -30,10 +34,24 @@ type saveArena struct {
 	top  []float64 // bestCaseSub top-κ scratch
 
 	visited map[data.AttrMask]struct{}
+
+	// stats is this worker's counter shard: plain increments owned by the
+	// save in flight, zeroed per save and copied into Adjustment.Stats at
+	// the end — no atomics anywhere near the recursion.
+	stats obs.SearchStats
+	// nc receives the index-query counts of cidx, the counting view of
+	// the saver's index. The view is built once per (arena, saver) pair —
+	// cidxBase remembers which base index it covers — so the steady state
+	// allocates nothing.
+	nc       neighbors.Counters
+	cidx     neighbors.Index
+	cidxBase neighbors.Index
 }
 
 // reset prepares the arena for one save over a schema of m attributes.
 func (ar *saveArena) reset(m int) {
+	ar.stats = obs.SearchStats{}
+	ar.nc.Reset()
 	if len(ar.cand) < m+1 {
 		ar.cand = append(ar.cand, make([][]int, m+1-len(ar.cand))...)
 		ar.sub = append(ar.sub, make([][]float64, m+1-len(ar.sub))...)

@@ -41,7 +41,10 @@ func far6D() data.Tuple {
 func TestSaveMaxNodesReturnsFeasibleExhausted(t *testing.T) {
 	r := denseRelation6D(150, 7)
 	cons := Constraints{Eps: 1.4, Eta: 4}
-	outlier := far6D()
+	// Corrupt half the attributes: the masks keeping clean attributes form a
+	// real search tree (2^3 subsets and their children) for the budget to cut.
+	outlier := centered6D()
+	outlier[0], outlier[1], outlier[2] = data.Num(3), data.Num(4), data.Num(5)
 
 	free, err := NewSaver(r, cons, Options{})
 	if err != nil {
@@ -77,7 +80,7 @@ func TestSaveMaxNodesReturnsFeasibleExhausted(t *testing.T) {
 	}
 	// No worse than the Lemma 4 initial bound, no better than the full
 	// search's optimum.
-	if _, initCost := capped.initialBound(outlier); adj.Cost > initCost+1e-9 {
+	if _, initCost := capped.initialBound(capped.idx, outlier); adj.Cost > initCost+1e-9 {
 		t.Errorf("degraded cost %v exceeds the Lemma 4 bound %v", adj.Cost, initCost)
 	}
 	if adj.Cost < unbounded.Cost-1e-9 {

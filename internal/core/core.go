@@ -16,9 +16,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/neighbors"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -48,6 +50,13 @@ type Detection struct {
 	Inliers, Outliers []int
 	// Counts[i] is |D_ε(t_i)| excluding t_i itself.
 	Counts []int
+	// Stats holds the index traffic of the counting pass (range queries,
+	// distance evaluations, grid fallbacks); the search counters stay
+	// zero — detection expands no Algorithm 1 nodes.
+	Stats obs.SearchStats
+	// Elapsed is the wall time of the counting pass, including the index
+	// build when none was supplied.
+	Elapsed time.Duration
 
 	eta int // retained so IsOutlier can answer without re-deriving the split
 }
@@ -72,6 +81,7 @@ func DetectContext(ctx context.Context, rel *data.Relation, cons Constraints, id
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if idx == nil {
 		idx = neighbors.Build(rel, cons.Eps)
 	}
@@ -79,12 +89,27 @@ func DetectContext(ctx context.Context, rel *data.Relation, cons Constraints, id
 	det := &Detection{Counts: make([]int, n), eta: cons.Eta}
 	// No early exit on the counts: the exact values feed parameter
 	// determination and the Figure 5 histograms. Counting is read-only
-	// per tuple, so it fans out across cores.
-	cidx := neighbors.WithContext(ctx, idx)
-	errs := par.ForEach(ctx, n, runtime.GOMAXPROCS(0), func(i int) error {
-		det.Counts[i] = cidx.CountWithin(rel.Tuples[i], cons.Eps, i, 0)
+	// per tuple, so it fans out across cores — each worker counts index
+	// traffic in its own shard, merged once the pool joins.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	shards := make([]neighbors.Counters, max(workers, 1))
+	views := make([]neighbors.Index, max(workers, 1))
+	for w := range views {
+		views[w] = neighbors.WithContext(ctx, neighbors.Counting(idx, &shards[w]))
+	}
+	errs := par.ForEachWorker(ctx, n, workers, func(w, i int) error {
+		det.Counts[i] = views[w].CountWithin(rel.Tuples[i], cons.Eps, i, 0)
 		return nil
 	})
+	var merged neighbors.Counters
+	for w := range shards {
+		merged.Add(shards[w])
+	}
+	addCounters(&det.Stats, merged)
+	det.Elapsed = time.Since(start)
 	if err := par.FirstErr(errs); err != nil {
 		return nil, fmt.Errorf("core: detecting outliers: %w", err)
 	}
@@ -126,6 +151,10 @@ type Adjustment struct {
 	// Proposition 6/7 approximation guarantees require a completed search
 	// and do not apply.
 	Exhausted bool
+	// Stats breaks the search down: nodes expanded (== Nodes), what the
+	// Lemma 2 / Proposition 3 lower bound pruned, memo hits, Proposition 5
+	// witnesses, κ-restriction work and the index traffic of this save.
+	Stats obs.SearchStats
 }
 
 // Saved reports whether the outlier received an adjustment.

@@ -2,10 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -48,6 +52,13 @@ type SaveResult struct {
 	// or context expired, sorted by outlier index. Nil when every outlier
 	// was processed.
 	Errs []SaveError
+	// Stats merges the per-outlier search counters with the detection
+	// pass and the η-radius precompute: the whole pipeline's nodes,
+	// prunes, memo hits and index traffic in one place.
+	Stats obs.SearchStats
+	// Timings breaks the run into pipeline phases (validate, detect,
+	// index build, η-radius precompute, save fan-out).
+	Timings obs.PhaseTimings
 }
 
 // Failed reports the number of outliers that were not processed (len(Errs)).
@@ -77,6 +88,8 @@ func SaveAll(rel *data.Relation, cons Constraints, opts Options) (*SaveResult, e
 // nothing was produced at all: invalid inputs, or cancellation before the
 // detection pass completed.
 func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, opts Options) (*SaveResult, error) {
+	totalStart := time.Now()
+	log := obs.Logger(opts.Logger)
 	if opts.BatchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.BatchTimeout)
@@ -88,17 +101,45 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	if err := data.ValidateValues(rel); err != nil {
 		return nil, err
 	}
+	validate := time.Since(totalStart)
 	det, err := DetectContext(ctx, rel, cons, nil)
 	if err != nil {
 		return nil, err
 	}
+	log.Info("disc: detection done", "tuples", rel.N(), "inliers", len(det.Inliers),
+		"outliers", len(det.Outliers), "duration", det.Elapsed)
 	res := &SaveResult{
 		Repaired:    rel.Clone(),
 		Detection:   det,
 		Adjustments: make([]Adjustment, len(det.Outliers)),
 	}
+	res.Stats.Add(&det.Stats)
+	res.Timings.Validate = validate
+	res.Timings.Detect = det.Elapsed
+	reporter := obs.NewReporter(opts.Progress, opts.ProgressInterval)
+	// finish seals the result on every return path: total timing, the
+	// batch-level log line, and the final (never rate-limited) progress
+	// snapshot.
+	finish := func() *SaveResult {
+		res.Timings.Total = time.Since(totalStart)
+		if res.Stats.GridFallbacks > 0 {
+			log.Debug("disc: grid queries degraded to brute scans",
+				"fallbacks", res.Stats.GridFallbacks)
+		}
+		log.Info("disc: batch done", "outliers", len(det.Outliers),
+			"saved", res.Saved, "natural", res.Natural, "exhausted", res.Exhausted,
+			"failed", res.Failed(), "nodes", res.Stats.Nodes,
+			"duration", res.Timings.Total)
+		reporter.Final(obs.Progress{
+			Done:  len(det.Outliers) - res.Failed(),
+			Total: len(det.Outliers),
+			Saved: res.Saved, Natural: res.Natural,
+			Exhausted: res.Exhausted, Failed: res.Failed(),
+		})
+		return res
+	}
 	if len(det.Outliers) == 0 {
-		return res, nil
+		return finish(), nil
 	}
 	if len(det.Inliers) == 0 {
 		// Nothing to save against: every outlier stays unchanged.
@@ -106,7 +147,7 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 			res.Adjustments[k] = Adjustment{Index: oi, Natural: true}
 			res.Natural++
 		}
-		return res, nil
+		return finish(), nil
 	}
 
 	r := rel.Subset(det.Inliers)
@@ -116,6 +157,12 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	if err != nil {
 		return nil, err
 	}
+	setupStats, indexBuild, etaRadius := saver.SetupStats()
+	res.Stats.Add(&setupStats)
+	res.Timings.IndexBuild = indexBuild
+	res.Timings.EtaRadius = etaRadius
+	log.Info("disc: saver ready", "index", fmt.Sprintf("%T", saver.idx),
+		"index_build", indexBuild, "eta_radius", etaRadius)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -127,11 +174,17 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	// One search arena per worker: the slabs are reused across every
 	// outlier a worker saves, and worker ids are stable for the whole
 	// fan-out, so the hot path shares no mutable state and needs no pool.
+	// Each arena also carries that worker's counter shard.
 	arenas := make([]*saveArena, workers)
 	for w := range arenas {
 		arenas[w] = new(saveArena)
 	}
-	errs := par.ForEachWorker(ctx, len(det.Outliers), workers, func(w, k int) error {
+	// Progress counters are per-outlier (not per-node) events, so atomics
+	// here cost nothing measurable against an NP-hard save.
+	var done, savedN, naturalN, exhaustedN atomic.Int64
+	total := len(det.Outliers)
+	saveStart := time.Now()
+	errs := par.ForEachWorker(ctx, total, workers, func(w, k int) error {
 		if saveAllHook != nil {
 			saveAllHook(k)
 		}
@@ -139,12 +192,30 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 		adj := saver.save(ctx, rel.Tuples[oi], arenas[w])
 		adj.Index = oi
 		res.Adjustments[k] = adj
+		if adj.Exhausted {
+			exhaustedN.Add(1)
+			log.Debug("disc: per-outlier budget tripped", "outlier", oi,
+				"nodes", adj.Nodes, "answer_kept", adj.Saved())
+		}
+		switch {
+		case adj.Saved():
+			savedN.Add(1)
+		case adj.Natural:
+			naturalN.Add(1)
+		}
+		reporter.Report(obs.Progress{
+			Done: int(done.Add(1)), Total: total,
+			Saved: int(savedN.Load()), Natural: int(naturalN.Load()),
+			Exhausted: int(exhaustedN.Load()),
+		})
 		return nil
 	})
+	res.Timings.Save = time.Since(saveStart)
 	for _, ie := range errs {
 		oi := det.Outliers[ie.Index]
 		res.Adjustments[ie.Index] = Adjustment{Index: oi, Cost: math.Inf(1)}
 		res.Errs = append(res.Errs, SaveError{Index: oi, Err: ie.Err})
+		log.Warn("disc: outlier not processed", "outlier", oi, "err", ie.Err)
 	}
 	failed := make(map[int]bool, len(errs))
 	for _, ie := range errs {
@@ -152,6 +223,7 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	}
 	for k := range res.Adjustments {
 		adj := &res.Adjustments[k]
+		res.Stats.Add(&adj.Stats)
 		if adj.Exhausted {
 			res.Exhausted++
 		}
@@ -165,5 +237,5 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 			res.Natural++
 		}
 	}
-	return res, nil
+	return finish(), nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/metric"
 	"repro/internal/neighbors"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -45,6 +47,20 @@ type Options struct {
 	// expires, outliers not yet saved are reported in SaveResult.Errs and
 	// the partial result is returned.
 	BatchTimeout time.Duration
+	// Progress, when non-nil, receives batch snapshots from SaveAll: the
+	// first completed save, at most one per ProgressInterval after that,
+	// and always a final snapshot. The callback is serialized (never runs
+	// concurrently with itself) but may fire from any worker goroutine.
+	Progress func(obs.Progress)
+	// ProgressInterval bounds the Progress rate; ≤ 0 selects
+	// obs.DefaultProgressInterval (200ms).
+	ProgressInterval time.Duration
+	// Logger, when non-nil, receives structured per-phase and degradation
+	// events from SaveAll and NewSaver: detection and precompute done
+	// (Info), per-outlier budget trips (Debug), recovered panics and
+	// skipped outliers (Warn), grid→brute fallbacks (Debug). The hot
+	// search path itself never logs.
+	Logger *slog.Logger
 }
 
 // Saver saves outliers against a fixed set r of non-outlying tuples.
@@ -62,6 +78,14 @@ type Saver struct {
 	// arenas recycles saveArena scratch across Save/SaveContext calls;
 	// SaveAll bypasses it with explicit per-worker arenas.
 	arenas sync.Pool
+	// setupStats and setup time the one-off construction work (index
+	// build, η-radius precompute) so SaveAll can report pipeline phases;
+	// setupStats holds the index traffic of the precompute pass.
+	setupStats obs.SearchStats
+	setup      struct{ indexBuild, etaRadius time.Duration }
+	// builtIndex marks that the saver built idx itself (as opposed to
+	// Options.Index), so the IndexBuild timing is meaningful.
+	builtIndex bool
 }
 
 // NewSaver precomputes the η-th-neighbor radii of r. r must be outlier-free
@@ -88,27 +112,48 @@ func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, op
 	if err := data.ValidateValues(r); err != nil {
 		return nil, err
 	}
+	log := obs.Logger(opts.Logger)
 	idx := opts.Index
+	built := false
+	var indexBuild time.Duration
 	if idx == nil {
+		start := time.Now()
 		idx = neighbors.Build(r, cons.Eps)
+		indexBuild = time.Since(start)
+		built = true
+		log.Debug("disc: inlier index built", "index", fmt.Sprintf("%T", idx),
+			"tuples", r.N(), "duration", indexBuild)
 	}
 	s := &Saver{
-		rel:       r,
-		cons:      cons,
-		opts:      opts,
-		idx:       idx,
-		etaRadius: make([]float64, r.N()),
-		m:         r.Schema.M(),
-		sqNorm:    r.Schema.Norm == metric.L2,
+		rel:        r,
+		cons:       cons,
+		opts:       opts,
+		idx:        idx,
+		etaRadius:  make([]float64, r.N()),
+		m:          r.Schema.M(),
+		sqNorm:     r.Schema.Norm == metric.L2,
+		builtIndex: built,
 	}
+	s.setup.indexBuild = indexBuild
 	s.arenas.New = func() any { return new(saveArena) }
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cidx := neighbors.WithContext(ctx, idx)
-	errs := par.ForEach(ctx, r.N(), workers, func(i int) error {
-		nn := cidx.KNN(r.Tuples[i], cons.Eta, i)
+	// One counting view (and counter shard) per worker: the precompute
+	// fans out over r, and the shards merge into setupStats once the pool
+	// joins — plain int64 increments, no atomics.
+	if workers > r.N() {
+		workers = r.N()
+	}
+	shards := make([]neighbors.Counters, workers)
+	views := make([]neighbors.Index, workers)
+	for w := range views {
+		views[w] = neighbors.WithContext(ctx, neighbors.Counting(idx, &shards[w]))
+	}
+	start := time.Now()
+	errs := par.ForEachWorker(ctx, r.N(), workers, func(w, i int) error {
+		nn := views[w].KNN(r.Tuples[i], cons.Eta, i)
 		if len(nn) < cons.Eta {
 			s.etaRadius[i] = math.Inf(1)
 			return nil
@@ -116,14 +161,39 @@ func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, op
 		s.etaRadius[i] = nn[cons.Eta-1].Dist
 		return nil
 	})
+	s.setup.etaRadius = time.Since(start)
+	var merged neighbors.Counters
+	for w := range shards {
+		merged.Add(shards[w])
+	}
+	addCounters(&s.setupStats, merged)
 	if err := par.FirstErr(errs); err != nil {
 		return nil, fmt.Errorf("core: building saver: %w", err)
 	}
+	log.Debug("disc: η-radius precompute done", "tuples", r.N(),
+		"duration", s.setup.etaRadius, "knn_queries", merged.KNNQueries,
+		"dist_evals", merged.DistEvals)
 	return s, nil
+}
+
+// addCounters folds an index-counter shard into a stats shard; obs stays
+// import-free of neighbors, so the bridge lives here.
+func addCounters(s *obs.SearchStats, c neighbors.Counters) {
+	s.KNNQueries += c.KNNQueries
+	s.RangeQueries += c.RangeQueries
+	s.DistEvals += c.DistEvals
+	s.GridFallbacks += c.GridFallbacks
 }
 
 // Rel returns the inlier relation r.
 func (s *Saver) Rel() *data.Relation { return s.rel }
+
+// SetupStats returns the index traffic of the saver's construction (the
+// η-radius precompute) and the one-off phase durations: index build (zero
+// when Options.Index was supplied) and precompute.
+func (s *Saver) SetupStats() (stats obs.SearchStats, indexBuild, etaRadius time.Duration) {
+	return s.setupStats, s.setup.indexBuild, s.setup.etaRadius
+}
 
 // Constraints returns the saver's (ε, η).
 func (s *Saver) Constraints() Constraints { return s.cons }
@@ -150,6 +220,9 @@ type saveState struct {
 	bestX    data.AttrMask
 	// bud meters the search against MaxNodes/Deadline/ctx.
 	bud budget
+	// stats points at the arena's counter shard; plain increments, owned
+	// exclusively by this save.
+	stats *obs.SearchStats
 }
 
 // Save finds the near-optimal adjustment of the outlier tuple to
@@ -176,6 +249,14 @@ func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 // The arena must not be shared with a concurrent save.
 func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustment {
 	ar.reset(s.m)
+	// The counting view of the index is cached on the arena (one per
+	// worker), so instrumentation adds no steady-state allocations; its
+	// counters are the arena's shard, zeroed by reset above.
+	if ar.cidx == nil || ar.cidxBase != s.idx {
+		ar.cidxBase = s.idx
+		ar.cidx = neighbors.Counting(s.idx, &ar.nc)
+	}
+	cidx := ar.cidx
 	st := &ar.st
 	*st = saveState{
 		ar:       ar,
@@ -183,6 +264,7 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 		bestCost: math.Inf(1),
 		bestT2:   -1,
 		bud:      makeBudget(ctx, s.opts),
+		stats:    &ar.stats,
 	}
 	sch := s.rel.Schema
 
@@ -197,7 +279,7 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 	// not an admissible answer (it adjusts every attribute), so both the
 	// initialization and the truncation are skipped.
 	if !kappaRestricted {
-		if nn, cost := s.initialBound(to); nn >= 0 {
+		if nn, cost := s.initialBound(cidx, to); nn >= 0 {
 			st.bestT2 = nn
 			st.bestX = 0
 			st.bestCost = cost
@@ -211,12 +293,13 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 			st.ids[i] = i
 		}
 	} else {
-		ball := s.idx.Within(to, s.cons.Eps+st.bestCost, -1)
+		ball := cidx.Within(to, s.cons.Eps+st.bestCost, -1)
 		st.ids = grow(ar.ids, len(ball))
 		for c, nb := range ball {
 			st.ids[c] = nb.Idx
 		}
 	}
+	st.stats.Candidates = int64(len(st.ids))
 	ar.ids = st.ids
 	c := len(st.ids)
 	st.attrD = grow(ar.attrD, c*s.m)
@@ -253,6 +336,14 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 		s.recurse(st, 0, cand, subD)
 	}
 
+	// Seal this save's counter shard: node and trip counts from the
+	// budget, index traffic from the counting view.
+	st.stats.Nodes = int64(st.bud.nodes)
+	if st.bud.exhausted {
+		st.stats.BudgetTrips = 1
+	}
+	addCounters(st.stats, ar.nc)
+
 	if st.bestT2 < 0 {
 		// Natural is only a sound classification when the search ran to
 		// completion: an exhausted budget means "no adjustment found in
@@ -263,6 +354,7 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 			Natural:   !st.bud.exhausted,
 			Nodes:     st.bud.nodes,
 			Exhausted: st.bud.exhausted,
+			Stats:     *st.stats,
 		}
 	}
 	adj := data.Compose(to, s.rel.Tuples[st.bestT2], st.bestX)
@@ -273,14 +365,16 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 		Adjusted:  data.DiffMask(sch, to, adj),
 		Nodes:     st.bud.nodes,
 		Exhausted: st.bud.exhausted,
+		Stats:     *st.stats,
 	}
 }
 
 // initialBound finds the nearest inlier whose η-th-neighbor radius fits
 // inside ε (a feasible whole-tuple substitution, Lemma 4) and returns its
 // tuple index in r and its distance to to; (-1, +Inf) when r has no
-// feasible position at all.
-func (s *Saver) initialBound(to data.Tuple) (int, float64) {
+// feasible position at all. idx is the calling save's (counting) index
+// view.
+func (s *Saver) initialBound(idx neighbors.Index, to data.Tuple) (int, float64) {
 	// Grow k geometrically: the nearest feasible inlier is almost always
 	// among the first few nearest neighbors. Each round resumes where the
 	// previous one stopped — KNN(k) is a prefix of KNN(4k) because every
@@ -288,7 +382,7 @@ func (s *Saver) initialBound(to data.Tuple) (int, float64) {
 	// η-radius check never re-scans positions already rejected.
 	checked := 0
 	for k := 4; ; k *= 4 {
-		nn := s.idx.KNN(to, k, -1)
+		nn := idx.KNN(to, k, -1)
 		for _, nb := range nn[min(checked, len(nn)):] {
 			if s.etaRadius[nb.Idx] <= s.cons.Eps {
 				return nb.Idx, nb.Dist
@@ -335,11 +429,12 @@ func (s *Saver) threshold(eps float64) float64 {
 func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float64) {
 	if !s.opts.DisableMemo {
 		if _, seen := st.visited[x]; seen {
+			st.stats.MemoHits++
 			return
 		}
 		st.visited[x] = struct{}{}
 	}
-	if st.bud.spend() {
+	if st.bud.stopped() {
 		return
 	}
 
@@ -347,6 +442,7 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 	// adjustment keeps t_o[X]; prune the whole branch (children's
 	// candidate sets only shrink).
 	if len(cand) < s.cons.Eta {
+		st.stats.CandPrunes++
 		return
 	}
 
@@ -355,8 +451,18 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 	if !s.opts.DisablePruning {
 		kth := quickselectKth(st, cand, s.cons.Eta)
 		if s.finish(kth)-s.cons.Eps >= st.bestCost {
+			st.stats.LBPrunes++
 			return
 		}
+	}
+
+	// The mask survived the prune gates, so it is now expanded — the
+	// candidate scan and child construction below are the O(m·|cand|) work
+	// the O(m^{κ+1}·n) analysis counts — and only expansions spend from the
+	// node budget. Pruned visits cost one quickselect and are bounded by
+	// m × the expansion count, so MaxNodes still caps total work.
+	if st.bud.spend() {
+		return
 	}
 
 	// Upper bound (Proposition 5): t_2 ∈ r_ε(t_o[X]) with
@@ -367,8 +473,10 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 		if s.etaRadius[st.ids[c]] > s.cons.Eps-dx {
 			continue
 		}
+		st.stats.UBWitnesses++
 		cost := s.finish(s.residual(st, subD[li], c, x))
 		if cost < st.bestCost {
+			st.stats.BestUpdates++
 			st.bestCost = cost
 			st.bestT2 = st.ids[c]
 			st.bestX = x
@@ -391,6 +499,7 @@ func (s *Saver) recurse(st *saveState, x data.AttrMask, cand []int, subD []float
 		child := x.With(a)
 		if !s.opts.DisableMemo {
 			if _, seen := st.visited[child]; seen {
+				st.stats.MemoHits++
 				continue
 			}
 		}
@@ -450,12 +559,14 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 		// mask (most distant tuples fail for every complement). The
 		// filter compacts rootCand in place — it only ever writes behind
 		// its read cursor.
+		before := len(rootCand)
 		filtered := rootCand[:0]
 		for _, c := range rootCand {
 			if s.bestCaseSub(st, c, kappa) <= epsAcc {
 				filtered = append(filtered, c)
 			}
 		}
+		st.stats.KappaPrefiltered += int64(before - len(filtered))
 		rootCand = filtered
 	}
 	// Per-mask lists live in the slab for depth m−κ (the start masks'
@@ -496,6 +607,7 @@ func (s *Saver) forEachStartMask(st *saveState, rootCand []int, rootSub []float6
 				sub = append(sub, acc)
 			}
 		}
+		st.stats.KappaMasks++
 		s.recurse(st, x, cand, sub)
 
 		// Next complement combination (lexicographic).

@@ -46,10 +46,12 @@ func runAblation(cfg Config) (*Result, error) {
 	}
 	for _, v := range variants {
 		start := time.Now()
-		res, err := core.SaveAll(ds.Rel, cons, v.opts)
+		res, err := core.SaveAllContext(cfg.context(), ds.Rel, cons,
+			cfg.discOptions("ablation: "+v.name, v.opts))
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
 		}
+		cfg.recordStats(res)
 		elapsed := time.Since(start)
 		nodes := 0
 		for _, adj := range res.Adjustments {

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/obs"
 )
 
 // Config tunes an experiment run.
@@ -33,6 +35,9 @@ type Config struct {
 	Ctx context.Context
 	// Workers bounds the per-method parallelism (≤ 0: GOMAXPROCS).
 	Workers int
+	// Stats, when non-nil, accumulates the merged search counters of
+	// every DISC save the experiment runs (discbench -stats-json).
+	Stats *obs.Collector
 }
 
 // context returns the run's context, never nil.

@@ -71,11 +71,13 @@ func runFig4(cfg Config) (*Result, error) {
 		"ERACER F1", "HoloClean F1", "Holistic F1"}
 
 	sweepRow := func(label string, eps float64, eta int) ([]string, error) {
-		discRes, err := core.SaveAll(ds.Rel, core.Constraints{Eps: eps, Eta: eta},
-			core.Options{Kappa: discKappa(ds.Name)})
+		discRes, err := core.SaveAllContext(cfg.context(), ds.Rel,
+			core.Constraints{Eps: eps, Eta: eta},
+			cfg.discOptions("fig4: disc "+label, core.Options{Kappa: discKappa(ds.Name)}))
 		if err != nil {
 			return nil, err
 		}
+		cfg.recordStats(discRes)
 		disc := fig4Cluster(discRes.Repaired, ds)
 		dorcRel, err := (&clean.DORC{Eps: eps, Eta: eta}).Clean(ds.Rel)
 		if err != nil {

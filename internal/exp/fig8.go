@@ -41,11 +41,13 @@ func runFig8(cfg Config) (*Result, error) {
 
 	header := []string{"Sweep", "Raw", "DISC", "DORC", "HoloClean", "Holistic"}
 	row := func(label string, eps float64, eta int) ([]string, error) {
-		discRes, err := core.SaveAll(ds.Rel, core.Constraints{Eps: eps, Eta: eta},
-			core.Options{Kappa: discKappa(ds.Name)})
+		discRes, err := core.SaveAllContext(cfg.context(), ds.Rel,
+			core.Constraints{Eps: eps, Eta: eta},
+			cfg.discOptions("fig8: disc "+label, core.Options{Kappa: discKappa(ds.Name)}))
 		if err != nil {
 			return nil, err
 		}
+		cfg.recordStats(discRes)
 		dorcRel, err := (&clean.DORC{Eps: eps, Eta: eta}).Clean(ds.Rel)
 		if err != nil {
 			return nil, err

@@ -61,7 +61,7 @@ func (a *accStats) cost() float64 {
 // scores, for every *injected dirty* tuple, the set of attributes each
 // method adjusted (or, for SSE, explained) against the ground-truth error
 // attributes — the §4.3 protocol.
-func adjustmentAccuracy(ds *data.Dataset, eps float64, eta, kappa int) (map[string]*accStats, error) {
+func adjustmentAccuracy(cfg Config, ds *data.Dataset, eps float64, eta, kappa int) (map[string]*accStats, error) {
 	cons := core.Constraints{Eps: eps, Eta: eta}
 	out := map[string]*accStats{}
 	for _, m := range []string{"DISC", "SSE", "DORC", "ERACER", "HoloClean", "Holistic"} {
@@ -69,10 +69,12 @@ func adjustmentAccuracy(ds *data.Dataset, eps float64, eta, kappa int) (map[stri
 	}
 
 	// DISC adjustments (and the detection split reused by SSE).
-	discRes, err := core.SaveAll(ds.Rel, cons, core.Options{Kappa: kappa})
+	discRes, err := core.SaveAllContext(cfg.context(), ds.Rel, cons,
+		cfg.discOptions("fig9: disc "+ds.Name, core.Options{Kappa: kappa}))
 	if err != nil {
 		return nil, err
 	}
+	cfg.recordStats(discRes)
 	adjByIdx := map[int]core.Adjustment{}
 	for _, adj := range discRes.Adjustments {
 		adjByIdx[adj.Index] = adj
@@ -163,7 +165,7 @@ func runFig9(cfg Config) (*Result, error) {
 	}
 
 	// (b) Jaccard accuracy of adjusted/explained attributes.
-	acc, err := adjustmentAccuracy(ds, ds.Eps, ds.Eta, discKappa("GPS"))
+	acc, err := adjustmentAccuracy(cfg, ds, ds.Eps, ds.Eta, discKappa("GPS"))
 	if err != nil {
 		return nil, err
 	}

@@ -38,10 +38,11 @@ func applyMethod(cfg Config, name string, ds *data.Dataset) (*data.Relation, tim
 	case "DISC":
 		res, err := core.SaveAllContext(cfg.context(), ds.Rel,
 			core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
-			core.Options{Kappa: discKappa(ds.Name), Workers: cfg.Workers})
+			cfg.discOptions("disc: "+ds.Name, core.Options{Kappa: discKappa(ds.Name)}))
 		if err != nil {
 			return nil, 0
 		}
+		cfg.recordStats(res)
 		return res.Repaired, time.Since(start)
 	case "DORC":
 		d := &clean.DORC{Eps: ds.Eps, Eta: ds.Eta}

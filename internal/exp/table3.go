@@ -62,11 +62,13 @@ func runTable3(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("table3: %s: %w", name, err)
 		}
 		cfg.progressf("table3: %s (n=%d)\n", name, ds.N())
-		res, err := core.SaveAll(ds.Rel, core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
-			core.Options{Kappa: discKappa(ds.Name)})
+		res, err := core.SaveAllContext(cfg.context(), ds.Rel,
+			core.Constraints{Eps: ds.Eps, Eta: ds.Eta},
+			cfg.discOptions("table3: disc "+name, core.Options{Kappa: discKappa(ds.Name)}))
 		if err != nil {
 			return nil, fmt.Errorf("table3: %s: %w", name, err)
 		}
+		cfg.recordStats(res)
 		row := []string{name}
 		for _, algo := range clusterAlgos {
 			rawRes, err := runClusterAlgo(algo, ds.Rel, ds, cfg.Seed)

@@ -44,7 +44,7 @@ func runTable4(cfg Config) (*Result, error) {
 		// The optimal setting: grid-search (ε, η) around the dataset's
 		// own constraints, maximizing post-saving clustering F1 — the
 		// paper's "found by testing various combinations" (Figure 4).
-		optEps, optEta, optF1 := table4Optimal(ds)
+		optEps, optEta, optF1 := table4Optimal(cfg, ds)
 
 		for _, rate := range sp.rates {
 			// DISC: Poisson-based determination over the sampled counts.
@@ -71,8 +71,8 @@ func runTable4(cfg Config) (*Result, error) {
 			})
 			dbTime := time.Since(start)
 
-			discF1 := saveAndClusterF1(ds, discEps, discEta)
-			dbF1 := saveAndClusterF1(ds, dbEps, dbEta)
+			discF1 := saveAndClusterF1(cfg, ds, discEps, discEta)
+			dbF1 := saveAndClusterF1(cfg, ds, dbEps, dbEta)
 			// "Optimal" means the best setting found by any search
 			// (Figure 4's exhaustive testing); the grid around the
 			// reference plus both determined settings.
@@ -106,7 +106,7 @@ func runTable4(cfg Config) (*Result, error) {
 }
 
 // table4Optimal grid-searches (ε, η) for the best post-saving DBSCAN F1.
-func table4Optimal(ds *data.Dataset) (float64, int, float64) {
+func table4Optimal(cfg Config, ds *data.Dataset) (float64, int, float64) {
 	bestEps, bestEta, bestF1 := ds.Eps, ds.Eta, -1.0
 	for _, fe := range []float64{0.75, 1, 1.25} {
 		for _, fh := range []float64{0.5, 1, 1.5} {
@@ -115,7 +115,7 @@ func table4Optimal(ds *data.Dataset) (float64, int, float64) {
 			if eta < 2 {
 				eta = 2
 			}
-			f1 := saveAndClusterF1(ds, eps, eta)
+			f1 := saveAndClusterF1(cfg, ds, eps, eta)
 			if f1 > bestF1 {
 				bestEps, bestEta, bestF1 = eps, eta, f1
 			}
@@ -126,15 +126,17 @@ func table4Optimal(ds *data.Dataset) (float64, int, float64) {
 
 // saveAndClusterF1 saves outliers under (eps, eta) and scores DBSCAN with
 // the same constraints; invalid parameters score 0.
-func saveAndClusterF1(ds *data.Dataset, eps float64, eta int) float64 {
+func saveAndClusterF1(cfg Config, ds *data.Dataset, eps float64, eta int) float64 {
 	if eps <= 0 || eta < 1 {
 		return 0
 	}
-	res, err := core.SaveAll(ds.Rel, core.Constraints{Eps: eps, Eta: eta},
-		core.Options{Kappa: discKappa(ds.Name)})
+	res, err := core.SaveAllContext(cfg.context(), ds.Rel,
+		core.Constraints{Eps: eps, Eta: eta},
+		cfg.discOptions("table4: disc "+ds.Name, core.Options{Kappa: discKappa(ds.Name)}))
 	if err != nil {
 		return 0
 	}
+	cfg.recordStats(res)
 	cl := cluster.DBSCAN(res.Repaired, cluster.DBSCANConfig{Eps: eps, MinPts: eta})
 	return eval.F1(cl.Labels, ds.Labels)
 }

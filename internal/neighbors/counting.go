@@ -1,0 +1,108 @@
+package neighbors
+
+import "repro/internal/data"
+
+// Counters tallies the work an index performs: queries by kind, the
+// tuple-pair distance evaluations spent answering them (the common
+// currency that makes Brute, Grid, VPTree and KDTree comparable), and grid
+// queries that degraded to a brute scan. The fields are plain int64s
+// incremented without synchronization — a Counters instance must be owned
+// by one goroutine at a time and merged (Add) only after the owner is done.
+type Counters struct {
+	KNNQueries    int64
+	RangeQueries  int64 // Within + CountWithin
+	DistEvals     int64
+	GridFallbacks int64
+}
+
+// Add folds o into c.
+func (c *Counters) Add(o Counters) {
+	c.KNNQueries += o.KNNQueries
+	c.RangeQueries += o.RangeQueries
+	c.DistEvals += o.DistEvals
+	c.GridFallbacks += o.GridFallbacks
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Counting returns an index view that adds every query against it to c.
+// For the four concrete index types the view is a shallow copy sharing the
+// built structure (tree nodes, grid cells, tuple storage) with hooks
+// attached, so DistEvals counts the distance evaluations performed inside
+// the traversal — not just the query calls. Unknown Index implementations
+// are wrapped at the interface boundary and count queries only. Build-time
+// distance evaluations are never counted: the view is created after the
+// index is built.
+//
+// Like Counters itself the view is not synchronized: create one view (and
+// one Counters) per goroutine against the same shared base index.
+func Counting(idx Index, c *Counters) Index {
+	switch t := idx.(type) {
+	case *Brute:
+		cp := *t
+		cp.evals = &c.DistEvals
+		return &counting{idx: &cp, c: c}
+	case *Grid:
+		cp := *t
+		cp.evals = &c.DistEvals
+		cp.fallbacks = &c.GridFallbacks
+		bcp := *t.brute
+		bcp.evals = &c.DistEvals
+		cp.brute = &bcp
+		return &counting{idx: &cp, c: c}
+	case *VPTree:
+		cp := *t
+		cp.evals = &c.DistEvals
+		return &counting{idx: &cp, c: c}
+	case *KDTree:
+		cp := *t
+		cp.evals = &c.DistEvals
+		return &counting{idx: &cp, c: c}
+	case *ctxIndex:
+		// Re-wrap inside-out so cancellation still short-circuits before
+		// the query is counted as executed work.
+		return &ctxIndex{done: t.done, idx: Counting(t.idx, c)}
+	case *counting:
+		return Counting(t.idx, c) // replace the previous counters
+	default:
+		return &counting{idx: idx, c: c}
+	}
+}
+
+// counting counts queries at the interface boundary; the inner index's
+// eval hooks (when attached by Counting) supply the distance counts.
+type counting struct {
+	idx Index
+	c   *Counters
+}
+
+// Within implements Index.
+func (w *counting) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	w.c.RangeQueries++
+	return w.idx.Within(q, eps, skip)
+}
+
+// CountWithin implements Index.
+func (w *counting) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	w.c.RangeQueries++
+	return w.idx.CountWithin(q, eps, skip, cap)
+}
+
+// KNN implements Index.
+func (w *counting) KNN(q data.Tuple, k, skip int) []Neighbor {
+	w.c.KNNQueries++
+	return w.idx.KNN(q, k, skip)
+}
+
+// Rel implements Index.
+func (w *counting) Rel() *data.Relation { return w.idx.Rel() }
+
+// count bumps an optional eval counter; the nil check is one predictable
+// branch next to a multi-attribute distance computation, so uninstrumented
+// indexes pay nothing measurable.
+func count(evals *int64) {
+	if evals != nil {
+		*evals++
+	}
+}

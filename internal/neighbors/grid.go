@@ -22,6 +22,10 @@ type Grid struct {
 	// brute is the pre-built fallback for queries whose cell cube would
 	// cost more than a scan; hoisted here so fallbacks allocate nothing.
 	brute *Brute
+	// evals and fallbacks, when non-nil, count distance evaluations and
+	// brute-scan degradations (see Counting).
+	evals     *int64
+	fallbacks *int64
 }
 
 // gridStackDims bounds the dimensionality for which a query walks the cell
@@ -145,6 +149,7 @@ func (g *Grid) tooWide(reach int) bool {
 // Within implements Index.
 func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 	if g.tooWide(g.reach(eps)) {
+		count(g.fallbacks)
 		return g.brute.Within(q, eps, skip)
 	}
 	var out []Neighbor
@@ -153,6 +158,7 @@ func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 			if i == skip {
 				continue
 			}
+			count(g.evals)
 			if d := g.r.Schema.Dist(q, g.r.Tuples[i]); d <= eps {
 				out = append(out, Neighbor{Idx: i, Dist: d})
 			}
@@ -165,6 +171,7 @@ func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 // CountWithin implements Index.
 func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 	if g.tooWide(g.reach(eps)) {
+		count(g.fallbacks)
 		return g.brute.CountWithin(q, eps, skip, cap)
 	}
 	c := 0
@@ -173,6 +180,7 @@ func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 			if i == skip {
 				continue
 			}
+			count(g.evals)
 			if g.r.Schema.Dist(q, g.r.Tuples[i]) <= eps {
 				c++
 				if cap > 0 && c >= cap {
@@ -207,6 +215,7 @@ func (g *Grid) KNN(q data.Tuple, k, skip int) []Neighbor {
 	}
 	for radius := g.cell; ; radius *= 2 {
 		if g.tooWide(g.reach(radius)) {
+			count(g.fallbacks)
 			return g.brute.KNN(q, k, skip)
 		}
 		found := g.Within(q, radius, skip)

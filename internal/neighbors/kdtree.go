@@ -20,6 +20,9 @@ type KDTree struct {
 	// so every node owns a contiguous range.
 	points []int
 	root   int
+	// evals, when non-nil, counts query-time distance evaluations (see
+	// Counting).
+	evals *int64
 }
 
 type kdNode struct {
@@ -143,6 +146,7 @@ func (t *KDTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit f
 			if i == skip {
 				continue
 			}
+			count(t.evals)
 			if d := t.r.Schema.Dist(q, t.r.Tuples[i]); d <= eps {
 				if !emit(Neighbor{Idx: i, Dist: d}) {
 					return false
@@ -185,6 +189,7 @@ func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
 			if i == skip {
 				continue
 			}
+			count(t.evals)
 			h.offer(Neighbor{Idx: i, Dist: t.r.Schema.Dist(q, t.r.Tuples[i])})
 		}
 		return

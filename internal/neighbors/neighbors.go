@@ -63,6 +63,8 @@ func Build(r *data.Relation, eps float64) Index {
 // the other implementations.
 type Brute struct {
 	r *data.Relation
+	// evals, when non-nil, counts distance evaluations (see Counting).
+	evals *int64
 }
 
 // NewBrute indexes r by keeping a reference to it.
@@ -78,6 +80,7 @@ func (b *Brute) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 		if i == skip {
 			continue
 		}
+		count(b.evals)
 		if d := b.r.Schema.Dist(q, t); d <= eps {
 			out = append(out, Neighbor{Idx: i, Dist: d})
 		}
@@ -92,6 +95,7 @@ func (b *Brute) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 		if i == skip {
 			continue
 		}
+		count(b.evals)
 		if b.r.Schema.Dist(q, t) <= eps {
 			c++
 			if cap > 0 && c >= cap {
@@ -112,6 +116,7 @@ func (b *Brute) KNN(q data.Tuple, k, skip int) []Neighbor {
 		if i == skip {
 			continue
 		}
+		count(b.evals)
 		h.offer(Neighbor{Idx: i, Dist: b.r.Schema.Dist(q, t)})
 	}
 	return h.sorted()

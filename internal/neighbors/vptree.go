@@ -17,6 +17,9 @@ type VPTree struct {
 	r     *data.Relation
 	nodes []vpNode
 	root  int
+	// evals, when non-nil, counts query-time distance evaluations (see
+	// Counting); build-time distances are not counted.
+	evals *int64
 }
 
 type vpNode struct {
@@ -131,6 +134,7 @@ func (t *VPTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit f
 		return true
 	}
 	n := &t.nodes[id]
+	count(t.evals)
 	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
 	if d <= eps && n.idx != skip {
 		if !emit(Neighbor{Idx: n.idx, Dist: d}) {
@@ -169,6 +173,7 @@ func (t *VPTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
 		return
 	}
 	n := &t.nodes[id]
+	count(t.evals)
 	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
 	if n.idx != skip {
 		h.offer(Neighbor{Idx: n.idx, Dist: d})

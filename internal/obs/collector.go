@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Collector accumulates SearchStats from many runs under a mutex. It sits
+// strictly at aggregation points — an experiment harness summing the
+// batches it ran, a server summing requests — never inside a search, so
+// the lock is uncontended per-batch, not per-node. A nil *Collector is a
+// valid no-op receiver.
+type Collector struct {
+	mu    sync.Mutex
+	stats SearchStats
+	runs  int64
+}
+
+// Add folds one run's stats into the collector.
+func (c *Collector) Add(s *SearchStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Add(s)
+	c.runs++
+	c.mu.Unlock()
+}
+
+// Snapshot returns the accumulated stats and the number of runs folded in.
+func (c *Collector) Snapshot() (SearchStats, int64) {
+	if c == nil {
+		return SearchStats{}, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats, c.runs
+}
+
+// Publish registers the collector's live totals in the process-wide expvar
+// registry under name, so an embedding process that serves /debug/vars
+// exposes the DISC counters with every other expvar. Publishing the same
+// name twice panics (expvar's contract); guard with sync.Once when in
+// doubt.
+func (c *Collector) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		s, runs := c.Snapshot()
+		return struct {
+			Runs  int64       `json:"runs"`
+			Stats SearchStats `json:"stats"`
+		}{runs, s}
+	}))
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nop is a handler that reports every level disabled, so a disabled logger
+// costs one interface call per log site and never formats attributes.
+type nop struct{}
+
+func (nop) Enabled(context.Context, slog.Level) bool  { return false }
+func (nop) Handle(context.Context, slog.Record) error { return nil }
+func (n nop) WithAttrs([]slog.Attr) slog.Handler      { return n }
+func (n nop) WithGroup(string) slog.Handler           { return n }
+
+var nopLogger = slog.New(nop{})
+
+// Logger returns l unchanged, or a disabled logger when l is nil, so
+// pipeline code logs unconditionally instead of guarding every call site.
+func Logger(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return nopLogger
+}

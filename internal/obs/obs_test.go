@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSearchStatsAdd(t *testing.T) {
+	a := SearchStats{Nodes: 1, LBPrunes: 2, CandPrunes: 3, MemoHits: 4,
+		UBWitnesses: 5, BestUpdates: 6, KappaMasks: 7, KappaPrefiltered: 8,
+		BudgetTrips: 9, Candidates: 10, KNNQueries: 11, RangeQueries: 12,
+		DistEvals: 13, GridFallbacks: 14}
+	var sum SearchStats
+	sum.Add(&a)
+	sum.Add(&a)
+	if sum.Nodes != 2 || sum.GridFallbacks != 28 || sum.DistEvals != 26 {
+		t.Errorf("Add did not sum field-wise: %+v", sum)
+	}
+	// Every field must participate; doubling a must equal sum.
+	twice := a
+	twice.Add(&a)
+	if twice != sum {
+		t.Errorf("Add misses fields: %+v vs %+v", twice, sum)
+	}
+}
+
+func TestSearchStatsString(t *testing.T) {
+	s := SearchStats{Nodes: 42, MemoHits: 7}
+	str := s.String()
+	for _, want := range []string{"nodes=42", "memo_hits=7", "lb_prunes=0"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestSearchStatsJSONTags(t *testing.T) {
+	b, err := json.Marshal(SearchStats{Nodes: 3, DistEvals: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["nodes"] != 3 || m["dist_evals"] != 9 {
+		t.Errorf("JSON keys wrong: %s", b)
+	}
+}
+
+func TestPhaseTimingsJSONSeconds(t *testing.T) {
+	pt := PhaseTimings{Save: 1500 * time.Millisecond, Total: 2 * time.Second}
+	b, err := json.Marshal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["save_s"] != 1.5 || m["total_s"] != 2 {
+		t.Errorf("timings not in seconds: %s", b)
+	}
+	if _, ok := m["validate_s"]; !ok {
+		t.Errorf("zero phases must still be present: %s", b)
+	}
+}
+
+func TestReporterNilSafe(t *testing.T) {
+	var r *Reporter
+	r.Report(Progress{Done: 1})
+	r.Final(Progress{Done: 1})
+	if NewReporter(nil, 0) != nil {
+		t.Error("NewReporter(nil) must return a nil reporter")
+	}
+}
+
+func TestReporterRateLimitAndFinal(t *testing.T) {
+	var mu sync.Mutex
+	var got []Progress
+	r := NewReporter(func(p Progress) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	}, time.Hour) // nothing but the first report fits in the window
+	for i := 1; i <= 100; i++ {
+		r.Report(Progress{Done: i, Total: 101})
+	}
+	r.Final(Progress{Done: 101, Total: 101})
+	if len(got) != 2 {
+		t.Fatalf("want first + final = 2 deliveries, got %d", len(got))
+	}
+	if got[0].Done != 1 {
+		t.Errorf("first delivery was Done=%d, want 1", got[0].Done)
+	}
+	if got[1].Done != 101 {
+		t.Errorf("final delivery was Done=%d, want 101", got[1].Done)
+	}
+}
+
+func TestReporterFillsElapsedAndETA(t *testing.T) {
+	var got Progress
+	r := NewReporter(func(p Progress) { got = p }, time.Hour)
+	time.Sleep(2 * time.Millisecond)
+	r.Report(Progress{Done: 1, Total: 4})
+	if got.Elapsed <= 0 {
+		t.Error("Elapsed not filled")
+	}
+	if got.ETA <= 0 {
+		t.Error("ETA not extrapolated with Done in (0, Total)")
+	}
+	// ETA ≈ Elapsed × remaining/done = 3×Elapsed here.
+	if got.ETA < got.Elapsed {
+		t.Errorf("ETA %v < Elapsed %v with 3/4 of the work left", got.ETA, got.Elapsed)
+	}
+	r.Final(Progress{Done: 4, Total: 4})
+	if got.ETA != 0 {
+		t.Errorf("completed batch must not report an ETA, got %v", got.ETA)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var nilC *Collector
+	nilC.Add(&SearchStats{Nodes: 1}) // must not panic
+	if s, n := nilC.Snapshot(); n != 0 || s.Nodes != 0 {
+		t.Error("nil collector must snapshot zero")
+	}
+
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(&SearchStats{Nodes: 1, DistEvals: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	s, n := c.Snapshot()
+	if n != 800 || s.Nodes != 800 || s.DistEvals != 1600 {
+		t.Errorf("concurrent Add lost updates: runs=%d stats=%+v", n, s)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	l := Logger(nil)
+	if l == nil {
+		t.Fatal("Logger(nil) returned nil")
+	}
+	l.Info("must not panic", "k", "v") // and must not print
+	if l.Enabled(nil, 12) {
+		t.Error("nop logger must report every level disabled")
+	}
+}
