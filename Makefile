@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_3.json
+BENCHOUT ?= BENCH_4.json
 BENCHKEY ?= after
-BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$
 
-.PHONY: check build vet test race cover fuzz bench bench-check
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke
 
-check: build vet race cover bench-check fuzz
+check: build vet race cover bench-check serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ cover:
 # full measurement run.
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /dev/null
+
+# Scripted serving round-trip: build discserve, drive a real listener
+# through upload -> detect -> save -> repair -> induced 429 -> SIGTERM
+# drain (see serve_smoke_test.go).
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 .
 
 # Each fuzz target needs its own invocation: go test allows one -fuzz
 # pattern per package run.

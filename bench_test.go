@@ -10,12 +10,17 @@ package disc_test
 //	go test -bench BenchmarkAblation -benchmem
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	disc "repro"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/neighbors"
+	"repro/internal/serve"
 )
 
 // benchScale keeps a full experiment pass benchable; the per-experiment
@@ -235,6 +240,106 @@ func BenchmarkDetect(b *testing.B) {
 		if _, err := core.Detect(ds.Rel, cons, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// serveBenchCSV marshals the ablation dataset once for the serving benches.
+func serveBenchCSV(b *testing.B) (string, disc.Constraints) {
+	b.Helper()
+	ds, cons := ablationWorkload(b)
+	var buf bytes.Buffer
+	if err := disc.WriteCSV(&buf, ds.Rel); err != nil {
+		b.Fatal(err)
+	}
+	return buf.String(), cons
+}
+
+func serveUpload(b *testing.B, h http.Handler, body []byte) string {
+	b.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/datasets", bytes.NewReader(body)))
+	if w.Code != http.StatusCreated {
+		b.Fatalf("upload: status %d, body %s", w.Code, w.Body.String())
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		b.Fatal(err)
+	}
+	return info.ID
+}
+
+// BenchmarkServeSave measures the end-to-end HTTP handler path of one save
+// against a warm session: JSON decode, admission, dispatch through the
+// batcher, Algorithm 1 against the cached indexes, JSON encode. Against
+// BenchmarkSaveSingle the delta is the serving overhead; against
+// BenchmarkServeSaveCold the delta is what session caching amortizes away.
+func BenchmarkServeSave(b *testing.B) {
+	csv, cons := serveBenchCSV(b)
+	s := serve.New(serve.Config{BatchWindow: -1, Workers: 1, Logger: nil})
+	h := s.Handler()
+	create, err := json.Marshal(map[string]any{
+		"name": "bench", "csv": csv, "eps": cons.Eps, "eta": cons.Eta, "kappa": 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := serveUpload(b, h, create)
+	ds, _ := ablationWorkload(b)
+	tuple := make([]any, ds.Rel.Schema.M())
+	for i := range tuple {
+		tuple[i] = 40.0 // far outside the Letter clusters: a real save
+	}
+	body, err := json.Marshal(map[string]any{"tuple": tuple})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := "/v1/datasets/" + id + "/save"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", path, bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("save: status %d, body %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeSaveCold pays the whole session build (index construction,
+// detection, η-radius precompute) for every save — the one-shot CLI cost
+// profile, measured on the same workload as BenchmarkServeSave.
+func BenchmarkServeSaveCold(b *testing.B) {
+	csv, cons := serveBenchCSV(b)
+	s := serve.New(serve.Config{BatchWindow: -1, Workers: 1, Logger: nil})
+	h := s.Handler()
+	create, err := json.Marshal(map[string]any{
+		"name": "bench", "csv": csv, "eps": cons.Eps, "eta": cons.Eta, "kappa": 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, _ := ablationWorkload(b)
+	tuple := make([]any, ds.Rel.Schema.M())
+	for i := range tuple {
+		tuple[i] = 40.0
+	}
+	body, err := json.Marshal(map[string]any{"tuple": tuple})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := serveUpload(b, h, create)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/datasets/"+id+"/save", bytes.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("save: status %d, body %s", w.Code, w.Body.String())
+		}
+		del := httptest.NewRecorder()
+		h.ServeHTTP(del, httptest.NewRequest("DELETE", "/v1/datasets/"+id, nil))
 	}
 }
 

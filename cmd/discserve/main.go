@@ -1,0 +1,124 @@
+// Command discserve is the long-running serving layer over DISC: upload or
+// load a dataset once, and the server builds its neighbor index and
+// distance-constraint state into a cached session; detection and repair
+// requests then run against the warm session instead of paying index
+// construction per invocation, with concurrent saves coalesced into
+// micro-batches over the shared worker pool.
+//
+// API (see docs/SERVING.md for the full reference):
+//
+//	POST   /v1/datasets            create a session (inline CSV, server path, or table1 spec)
+//	GET    /v1/datasets            list sessions
+//	GET    /v1/datasets/{id}       session info (build timings, search counters)
+//	DELETE /v1/datasets/{id}       evict a session
+//	POST   /v1/datasets/{id}/detect  count ε-neighbors of query tuples
+//	POST   /v1/datasets/{id}/save    repair one tuple
+//	POST   /v1/datasets/{id}/repair  repair a batch of tuples
+//	GET    /healthz                liveness/readiness (503 while draining)
+//	GET    /varz                   counters: endpoints, registry, per-session stats
+//
+// Capacity is bounded everywhere: the session cache by count, bytes and
+// idle TTL (LRU eviction), each session's admission queue by -max-queue
+// (overflow answered 429 + Retry-After), and each save by a deadline
+// (client timeout_ms capped at -request-budget). SIGINT/SIGTERM drain
+// gracefully: admitted work finishes, new work is refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxSessions   = flag.Int("max-sessions", 8, "max cached dataset sessions (LRU eviction)")
+		maxBytes      = flag.Int64("max-bytes", 0, "max approximate resident bytes across sessions (0 = unbounded)")
+		sessionTTL    = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = never)")
+		maxQueue      = flag.Int("max-queue", 256, "admission queue slots per session; overflow is answered 429")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long a dispatch waits for co-arriving saves to coalesce")
+		maxBatch      = flag.Int("max-batch", 64, "max saves per dispatch")
+		workers       = flag.Int("workers", 0, "parallel saves per dispatch (0 = GOMAXPROCS)")
+		requestBudget = flag.Duration("request-budget", 30*time.Second, "per-save deadline cap; client timeout_ms cannot exceed it")
+		maxUpload     = flag.Int64("max-upload", 64<<20, "max request body bytes, dataset uploads included")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "max time to finish admitted work on shutdown")
+		logLevel      = flag.String("log-level", "info", "structured log level on stderr (debug|info|warn|error)")
+	)
+	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	srv := serve.New(serve.Config{
+		MaxSessions:   *maxSessions,
+		MaxBytes:      *maxBytes,
+		TTL:           *sessionTTL,
+		MaxQueue:      *maxQueue,
+		BatchWindow:   *batchWindow,
+		MaxBatch:      *maxBatch,
+		Workers:       *workers,
+		RequestBudget: *requestBudget,
+		MaxBodyBytes:  *maxUpload,
+		Logger:        log,
+	})
+
+	// Listen before announcing: scripts (and the smoke test) parse the
+	// printed address, which may carry a kernel-assigned port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "discserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the usual way
+
+	// Drain: finish everything admitted, refuse new work, then close the
+	// listener. The order matters — srv.Shutdown flips the draining flag
+	// first so health checks fail while in-flight requests complete.
+	fmt.Fprintln(os.Stderr, "discserve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "discserve: %v\n", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "discserve: closing listener: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "discserve: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "discserve: %v\n", err)
+	os.Exit(1)
+}

@@ -142,6 +142,14 @@ func DetectContext(ctx context.Context, rel *Relation, cons Constraints) (*Detec
 	return core.DetectContext(ctx, rel, cons, nil)
 }
 
+// DetectWithIndex is DetectContext against a caller-supplied index over
+// rel, so a session-caching layer (or any caller running detection more
+// than once) reuses one built index instead of rebuilding it per call.
+// Detection.IndexBuild stays zero on this path.
+func DetectWithIndex(ctx context.Context, rel *Relation, cons Constraints, idx NeighborIndex) (*Detection, error) {
+	return core.DetectContext(ctx, rel, cons, idx)
+}
+
 // Save runs the full DISC pipeline: detect every violation of the distance
 // constraints and save each outlier by near-minimal value adjustment
 // (Algorithm 1 with the Proposition 3/5 bounds). The input is not
@@ -247,6 +255,18 @@ var (
 
 // NeighborIndex answers ε-range and k-NN queries (see internal/neighbors).
 type NeighborIndex = neighbors.Index
+
+// IndexCounters tallies the query traffic of a counting index view: queries
+// by kind and the tuple-pair distance evaluations spent answering them. The
+// fields are plain int64s — one instance per goroutine, merged only after
+// the owner is done.
+type IndexCounters = neighbors.Counters
+
+// CountingIndex wraps an index so every query against the view is tallied
+// in the supplied counters; the built structure is shared, not copied. It
+// is how a serving layer proves its cached index answered a request — query
+// counters move while build counters stay put.
+var CountingIndex = neighbors.Counting
 
 // BuildIndex picks a neighbor index for the relation (grid for
 // low-dimensional numeric data, vantage-point tree otherwise); eps hints

@@ -2,6 +2,7 @@ package disc_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -249,5 +250,43 @@ func TestPublicExtensions(t *testing.T) {
 	}
 	if err := disc.RestoreScales(ds.Rel, prev); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicSaverSaveOne pins the serving-path contract on the public
+// surface: a warm Saver answers repeated single-tuple saves without
+// rebuilding anything, and a steady-state save costs only the small
+// node-independent constant of allocations the arena design budgets for.
+func TestPublicSaverSaveOne(t *testing.T) {
+	rel := noisyBlobs()
+	cons := disc.Constraints{Eps: 1.5, Eta: 3}
+	det, err := disc.Detect(rel, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	saver, err := disc.NewSaverContext(ctx, rel.Subset(det.Inliers), cons, disc.Options{Kappa: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirty := disc.Tuple{disc.Num(10), disc.Num(1.2)}
+	adj := saver.SaveOne(ctx, dirty) // warm the arena pool
+	if !adj.Saved() {
+		t.Fatalf("dirty outlier not saved: %+v", adj)
+	}
+	if adj.Cost <= 0 || adj.Adjusted.Count() == 0 {
+		t.Errorf("adjustment has cost %v over %d attrs, want a real repair", adj.Cost, adj.Adjusted.Count())
+	}
+
+	allocs := testing.AllocsPerRun(50, func() {
+		saver.SaveOne(ctx, dirty)
+	})
+	// Per save: one arena draw from the pool plus the escapes by design
+	// (truncation ball, k-NN lists, the composed tuple). The total must
+	// stay a small constant independent of search size — the budget has
+	// headroom for the race detector, whose sync.Pool drops items.
+	if allocs > 24 {
+		t.Errorf("steady-state SaveOne allocates %.1f per op; want a small constant (arena pool broken?)", allocs)
 	}
 }

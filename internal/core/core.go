@@ -57,6 +57,9 @@ type Detection struct {
 	// Elapsed is the wall time of the counting pass, including the index
 	// build when none was supplied.
 	Elapsed time.Duration
+	// IndexBuild is the portion of Elapsed spent building the index; zero
+	// when the caller supplied one, so reuse across phases is visible.
+	IndexBuild time.Duration
 
 	eta int // retained so IsOutlier can answer without re-deriving the split
 }
@@ -82,11 +85,13 @@ func DetectContext(ctx context.Context, rel *data.Relation, cons Constraints, id
 		return nil, err
 	}
 	start := time.Now()
+	var indexBuild time.Duration
 	if idx == nil {
 		idx = neighbors.Build(rel, cons.Eps)
+		indexBuild = time.Since(start)
 	}
 	n := rel.N()
-	det := &Detection{Counts: make([]int, n), eta: cons.Eta}
+	det := &Detection{Counts: make([]int, n), eta: cons.Eta, IndexBuild: indexBuild}
 	// No early exit on the counts: the exact values feed parameter
 	// determination and the Figure 5 histograms. Counting is read-only
 	// per tuple, so it fans out across cores — each worker counts index

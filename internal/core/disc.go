@@ -102,7 +102,10 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 		return nil, err
 	}
 	validate := time.Since(totalStart)
-	det, err := DetectContext(ctx, rel, cons, nil)
+	// A supplied Options.Index indexes the input relation, so the detection
+	// pass reuses it instead of building its own — the amortization a
+	// session-caching caller (or a CLI running detection twice) relies on.
+	det, err := DetectContext(ctx, rel, cons, opts.Index)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +119,7 @@ func SaveAllContext(ctx context.Context, rel *data.Relation, cons Constraints, o
 	res.Stats.Add(&det.Stats)
 	res.Timings.Validate = validate
 	res.Timings.Detect = det.Elapsed
+	res.Timings.DetectIndexBuild = det.IndexBuild
 	reporter := obs.NewReporter(opts.Progress, opts.ProgressInterval)
 	// finish seals the result on every return path: total timing, the
 	// batch-level log line, and the final (never rate-limited) progress

@@ -30,7 +30,10 @@ type Options struct {
 	DisableMemo bool
 	// Workers bounds SaveAll's parallelism; ≤ 0 means GOMAXPROCS.
 	Workers int
-	// Index overrides the automatically built neighbor index over r.
+	// Index overrides the automatically built neighbor index. For NewSaver
+	// it must index r (the inlier relation); for SaveAll it must index the
+	// full input relation and is reused by the detection pass (the saver's
+	// inlier index is still built over the inlier subset).
 	Index neighbors.Index
 	// MaxNodes bounds the search nodes Algorithm 1 expands per outlier
 	// (≤ 0: unlimited). When the cap trips mid-search, the best-so-far
@@ -188,6 +191,13 @@ func addCounters(s *obs.SearchStats, c neighbors.Counters) {
 // Rel returns the inlier relation r.
 func (s *Saver) Rel() *data.Relation { return s.rel }
 
+// Index returns the neighbor index over r the saver queries. It is the
+// structure a session-caching layer amortizes: built once (by NewSaver or
+// supplied via Options.Index), it serves every subsequent SaveOne call
+// without rebuilding. The index is safe for concurrent readers; wrap it
+// with neighbors.Counting to meter per-caller query traffic.
+func (s *Saver) Index() neighbors.Index { return s.idx }
+
 // SetupStats returns the index traffic of the saver's construction (the
 // η-radius precompute) and the one-off phase durations: index build (zero
 // when Options.Index was supplied) and precompute.
@@ -243,6 +253,16 @@ func (s *Saver) SaveContext(ctx context.Context, to data.Tuple) Adjustment {
 	adj := s.save(ctx, to, ar)
 	s.arenas.Put(ar)
 	return adj
+}
+
+// SaveOne is the session-reuse surface of the serving path: one save of to
+// against the prepared inlier set, under the same per-save budgets as
+// SaveContext. The saver's index, η-radius table and arena pool are all
+// reused across calls — repeated SaveOne calls on a warm saver rebuild
+// nothing and stay ~1 alloc/op — and concurrent calls are safe: each draws
+// its own arena from the pool and the shared structures are read-only.
+func (s *Saver) SaveOne(ctx context.Context, to data.Tuple) Adjustment {
+	return s.SaveContext(ctx, to)
 }
 
 // save runs one Algorithm 1 search with its scratch memory drawn from ar.

@@ -36,7 +36,7 @@ func runFig10(cfg Config) (*Result, error) {
 	cstEps := Table{Title: "Fig 10(f): adjustment cost vs ε (η=4)", Header: header}
 
 	addRows := func(label string, eps float64, eta int, jac, att, cst *Table) error {
-		acc, err := adjustmentAccuracy(cfg, ds, eps, eta, discKappa(ds.Name))
+		acc, err := adjustmentAccuracy(cfg, ds, eps, eta, discKappa(ds.Name), nil)
 		if err != nil {
 			return err
 		}

@@ -73,7 +73,7 @@ func runFig6(cfg Config) (*Result, error) {
 		// Exact (capped).
 		if ds.N() <= fig6ExactCap {
 			start = time.Now()
-			rel, err := exactRepair(ds, cons, 32)
+			rel, err := exactRepair(ds, cons, discRes.Detection, 32)
 			if err != nil {
 				return nil, fmt.Errorf("fig6: exact: %w", err)
 			}
@@ -115,12 +115,10 @@ func runFig6(cfg Config) (*Result, error) {
 
 // exactRepair runs the Exact value-enumeration algorithm over every
 // detected outlier (the §2.3 baseline), with per-attribute domains thinned
-// to maxDomain values.
-func exactRepair(ds *data.Dataset, cons core.Constraints, maxDomain int) (*data.Relation, error) {
-	det, err := core.Detect(ds.Rel, cons, nil)
-	if err != nil {
-		return nil, err
-	}
+// to maxDomain values. det is the detection of ds.Rel under cons — callers
+// already have one from their DISC run, so Exact does not pay a second
+// detection pass (and index build) over the same relation.
+func exactRepair(ds *data.Dataset, cons core.Constraints, det *core.Detection, maxDomain int) (*data.Relation, error) {
 	out := ds.Rel.Clone()
 	if len(det.Outliers) == 0 || len(det.Inliers) == 0 {
 		return out, nil

@@ -73,7 +73,7 @@ func runFig7(cfg Config) (*Result, error) {
 
 		if m <= fig7ExactMaxM {
 			start = time.Now()
-			rel, err := exactRepair(proj, cons, 6)
+			rel, err := exactRepair(proj, cons, discRes.Detection, 6)
 			if err != nil {
 				return nil, fmt.Errorf("fig7: exact m=%d: %w", m, err)
 			}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/eval"
 	"repro/internal/explain"
+	"repro/internal/neighbors"
 )
 
 func init() {
@@ -60,8 +61,9 @@ func (a *accStats) cost() float64 {
 // adjustmentAccuracy runs DISC, SSE and the cleaners over the dataset and
 // scores, for every *injected dirty* tuple, the set of attributes each
 // method adjusted (or, for SSE, explained) against the ground-truth error
-// attributes — the §4.3 protocol.
-func adjustmentAccuracy(cfg Config, ds *data.Dataset, eps float64, eta, kappa int) (map[string]*accStats, error) {
+// attributes — the §4.3 protocol. A non-nil idx (over ds.Rel, built for
+// eps) is reused for the detection pass instead of building a fresh one.
+func adjustmentAccuracy(cfg Config, ds *data.Dataset, eps float64, eta, kappa int, idx neighbors.Index) (map[string]*accStats, error) {
 	cons := core.Constraints{Eps: eps, Eta: eta}
 	out := map[string]*accStats{}
 	for _, m := range []string{"DISC", "SSE", "DORC", "ERACER", "HoloClean", "Holistic"} {
@@ -70,7 +72,7 @@ func adjustmentAccuracy(cfg Config, ds *data.Dataset, eps float64, eta, kappa in
 
 	// DISC adjustments (and the detection split reused by SSE).
 	discRes, err := core.SaveAllContext(cfg.context(), ds.Rel, cons,
-		cfg.discOptions("fig9: disc "+ds.Name, core.Options{Kappa: kappa}))
+		cfg.discOptions("fig9: disc "+ds.Name, core.Options{Kappa: kappa, Index: idx}))
 	if err != nil {
 		return nil, err
 	}
@@ -134,8 +136,10 @@ func runFig9(cfg Config) (*Result, error) {
 	}
 	cfg.progressf("fig9: GPS (n=%d)\n", ds.N())
 
-	// (a) dirty / natural outlier rates, as detected vs ground truth.
-	det, err := core.Detect(ds.Rel, core.Constraints{Eps: ds.Eps, Eta: ds.Eta}, nil)
+	// (a) dirty / natural outlier rates, as detected vs ground truth. The
+	// index is built once here and reused by the part-(b) DISC run below.
+	idx := neighbors.Build(ds.Rel, ds.Eps)
+	det, err := core.Detect(ds.Rel, core.Constraints{Eps: ds.Eps, Eta: ds.Eta}, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +169,7 @@ func runFig9(cfg Config) (*Result, error) {
 	}
 
 	// (b) Jaccard accuracy of adjusted/explained attributes.
-	acc, err := adjustmentAccuracy(cfg, ds, ds.Eps, ds.Eta, discKappa("GPS"))
+	acc, err := adjustmentAccuracy(cfg, ds, ds.Eps, ds.Eta, discKappa("GPS"), idx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disc "repro"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// errQueueFull means the bounded admission queue had no room — the
+	// client should back off (429 + Retry-After).
+	errQueueFull = errors.New("serve: admission queue full")
+	// errClosed means the session (or server) is draining — requests
+	// already admitted will finish, new ones are refused (503).
+	errClosed = errors.New("serve: draining, not accepting new work")
+)
+
+// saveReq is one admitted save: the tuple, the caller's deadline-carrying
+// context, and a buffered reply channel the dispatcher always answers, so a
+// caller that gave up never blocks the batch.
+type saveReq struct {
+	ctx   context.Context
+	tuple disc.Tuple
+	res   chan saveRes
+	es    *obs.EndpointStats // the HTTP endpoint's counters (save vs repair)
+	enq   time.Time
+}
+
+type saveRes struct {
+	adj disc.Adjustment
+	err error
+}
+
+// batcher is the per-session micro-batching executor. Incoming requests
+// enter a bounded queue; a single dispatcher goroutine collects them into
+// batches — the first request opens a batch window, everything arriving
+// within it (up to maxBatch) rides along — and fans each batch out over the
+// par worker pool. Batching exists because one save is short relative to
+// scheduling overhead under concurrent load: coalescing turns k concurrent
+// HTTP requests into one pool dispatch with k items, the same shape
+// SaveAll's fan-out already optimizes for.
+type batcher struct {
+	session *Session
+	queue   chan *saveReq
+	window  time.Duration
+	max     int
+	workers int
+	log     interface {
+		Debug(msg string, args ...any)
+	}
+
+	// admitMu serializes admission against close: senders check capacity
+	// and closed under the lock, so the buffered sends in admit never
+	// block and never race a close(queue).
+	admitMu  sync.Mutex
+	closed   bool
+	draining atomic.Bool
+	done     chan struct{}
+	batches  atomic.Int64
+}
+
+func newBatcher(s *Session, cfg Config) *batcher {
+	b := &batcher{
+		session: s,
+		queue:   make(chan *saveReq, cfg.MaxQueue),
+		window:  cfg.BatchWindow,
+		max:     cfg.MaxBatch,
+		workers: cfg.Workers,
+		log:     obs.Logger(cfg.Logger),
+		done:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// admit enqueues all of reqs or none of them: partial admission of a batch
+// repair would leave the client with half an answer and the queue with
+// orphaned work. Admission is all-or-nothing under the lock, where the
+// capacity check makes the channel sends non-blocking.
+func (b *batcher) admit(reqs ...*saveReq) error {
+	b.admitMu.Lock()
+	if b.closed {
+		b.admitMu.Unlock()
+		for _, r := range reqs {
+			r.es.Rejected.Add(1)
+		}
+		return errClosed
+	}
+	if len(b.queue)+len(reqs) > cap(b.queue) {
+		b.admitMu.Unlock()
+		for _, r := range reqs {
+			r.es.Rejected.Add(1)
+		}
+		return fmt.Errorf("%w (%d queued, capacity %d, %d arriving)",
+			errQueueFull, len(b.queue), cap(b.queue), len(reqs))
+	}
+	for _, r := range reqs {
+		r.enq = time.Now()
+		b.queue <- r
+		r.es.Admitted.Add(1)
+	}
+	b.admitMu.Unlock()
+	return nil
+}
+
+// close stops admission and drains: everything already queued is still
+// dispatched (counted as Drained), then the dispatcher exits. Idempotent;
+// blocks until the drain completes.
+func (b *batcher) close() {
+	b.admitMu.Lock()
+	already := b.closed
+	if !already {
+		b.closed = true
+		b.draining.Store(true)
+		close(b.queue)
+	}
+	b.admitMu.Unlock()
+	<-b.done
+}
+
+// run is the dispatcher: collect one batch, dispatch it, repeat. A closed
+// queue still yields its buffered requests before reporting closed, so the
+// drain path reuses the normal loop.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		req, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := b.collect(req)
+		b.dispatch(batch)
+	}
+}
+
+// collect gathers the batch opened by first: requests already queued and
+// those arriving within the batch window join, up to the batch cap. A zero
+// window still coalesces whatever is already buffered (non-blocking drain)
+// — it disables waiting, not batching.
+func (b *batcher) collect(first *saveReq) []*saveReq {
+	batch := []*saveReq{first}
+	if b.window <= 0 || b.draining.Load() {
+		for len(batch) < b.max {
+			select {
+			case r, ok := <-b.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.max {
+		select {
+		case r, ok := <-b.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch fans the batch out over the worker pool. Each request runs under
+// its own context — a deadline that expired while the request sat in the
+// queue is answered immediately, spending no search work — while the pool
+// itself runs under no batch-wide cancellation: a drain finishes what was
+// admitted.
+func (b *batcher) dispatch(batch []*saveReq) {
+	b.batches.Add(1)
+	draining := b.draining.Load()
+	if len(batch) > 1 {
+		for _, r := range batch {
+			r.es.Coalesced.Add(1)
+		}
+	}
+	workers := b.workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	errs := par.ForEach(context.Background(), len(batch), workers, func(i int) error {
+		r := batch[i]
+		if draining {
+			r.es.Drained.Add(1)
+		}
+		if err := r.ctx.Err(); err != nil {
+			r.es.Expired.Add(1)
+			r.res <- saveRes{err: fmt.Errorf("serve: request expired after %s in queue: %w",
+				time.Since(r.enq).Round(time.Millisecond), err)}
+			return nil
+		}
+		adj := b.session.Saver.SaveOne(r.ctx, r.tuple)
+		b.session.addStats(&adj.Stats, 1, 0)
+		r.res <- saveRes{adj: adj}
+		return nil
+	})
+	// A panic inside one save is recovered by the pool; answer the caller
+	// instead of leaving it waiting on the reply channel.
+	for _, ie := range errs {
+		batch[ie.Index].res <- saveRes{err: fmt.Errorf("serve: save failed: %w", ie.Err)}
+	}
+	if len(batch) > 1 {
+		b.log.Debug("serve: batch dispatched", "session", b.session.ID,
+			"size", len(batch), "draining", draining)
+	}
+}

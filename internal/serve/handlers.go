@@ -1,0 +1,677 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	disc "repro"
+	"repro/internal/obs"
+)
+
+// Config tunes the server's capacity knobs. The zero value is usable;
+// withDefaults fills the rest.
+type Config struct {
+	// MaxSessions bounds the registry's session count (LRU eviction;
+	// default 8). MaxBytes additionally bounds the approximate resident
+	// bytes across sessions (0 = unbounded).
+	MaxSessions int
+	MaxBytes    int64
+	// TTL evicts sessions idle longer than this (0 = never).
+	TTL time.Duration
+	// MaxQueue bounds each session's admission queue (default 256);
+	// overflow is answered 429 + Retry-After.
+	MaxQueue int
+	// BatchWindow is how long the dispatcher holds an open batch for
+	// co-arriving requests (default 2ms; 0 coalesces only what is already
+	// queued). MaxBatch caps one dispatch (default 64).
+	BatchWindow time.Duration
+	MaxBatch    int
+	// Workers bounds each dispatch's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// RequestBudget is the per-request save deadline applied when the
+	// client sends none (default 30s). Client-requested budgets are capped
+	// at this value, so one request cannot hold a queue slot forever.
+	RequestBudget time.Duration
+	// MaxBodyBytes caps request bodies, uploads included (default 64 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs (nil = silent).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	} else if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestBudget <= 0 {
+		c.RequestBudget = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the HTTP serving layer: the session registry plus the JSON API.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	reg     *Registry
+	handler http.Handler
+	start   time.Time
+
+	draining atomic.Bool
+	panics   atomic.Int64
+
+	// endpoints maps the API surface to its admission counters.
+	endpoints map[string]*obs.EndpointStats
+}
+
+// New builds a server. Callers serve s.Handler() and must call Shutdown for
+// a graceful drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   obs.Logger(cfg.Logger),
+		reg:   NewRegistry(cfg),
+		start: time.Now(),
+		endpoints: map[string]*obs.EndpointStats{
+			"datasets": {}, "detect": {}, "save": {}, "repair": {},
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleCreate)
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/datasets/{id}/detect", s.handleDetect)
+	mux.HandleFunc("POST /v1/datasets/{id}/save", s.handleSave)
+	mux.HandleFunc("POST /v1/datasets/{id}/repair", s.handleRepair)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	s.handler = s.wrap(mux)
+	return s
+}
+
+// Handler returns the middleware-wrapped API.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the session registry (embedders and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Shutdown drains gracefully: stop admitting (new mutating requests get
+// 503), finish everything already queued or in flight, and return once the
+// queues are empty. If ctx expires first, Shutdown returns its error with
+// queues possibly non-empty — callers then simply exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.log.Info("serve: draining", "sessions", len(s.reg.List()))
+	done := make(chan struct{})
+	go func() {
+		s.reg.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logFinalStats()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain cut short: %w", ctx.Err())
+	}
+}
+
+// logFinalStats flushes the endpoint counters once the drain completes, so
+// a terminated process leaves its last numbers in the log.
+func (s *Server) logFinalStats() {
+	for name, es := range s.endpoints {
+		snap := es.Snapshot()
+		if snap.Requests == 0 {
+			continue
+		}
+		s.log.Info("serve: final endpoint stats", "endpoint", name,
+			"requests", snap.Requests, "admitted", snap.Admitted,
+			"rejected", snap.Rejected, "coalesced", snap.Coalesced,
+			"expired", snap.Expired, "drained", snap.Drained)
+	}
+}
+
+// --- request/response schemas ---
+
+// createRequest selects the dataset source (exactly one of csv / path /
+// table1) and the constraint parameters.
+type createRequest struct {
+	// Name labels the session (defaults to the source).
+	Name string `json:"name"`
+	// CSV is an inline dataset in the disccli CSV dialect.
+	CSV string `json:"csv"`
+	// Path loads a dataset file on the server host (CSV, or dataset JSON
+	// with its own (ε, η) defaults). Path loads are cached: same path and
+	// params → same session.
+	Path string `json:"path"`
+	// Table1 instantiates a synthetic Table 1 dataset by name, at Scale
+	// (default 1) with Seed.
+	Table1 string  `json:"table1"`
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+
+	Eps      float64 `json:"eps"`
+	Eta      int     `json:"eta"`
+	Kappa    int     `json:"kappa"`
+	MaxNodes int     `json:"max_nodes"`
+}
+
+type detectRequest struct {
+	Tuples [][]any `json:"tuples"`
+}
+
+type detectResponse struct {
+	Eps     float64        `json:"eps"`
+	Eta     int            `json:"eta"`
+	Results []detectResult `json:"results"`
+}
+
+type detectResult struct {
+	Neighbors int  `json:"neighbors"`
+	Outlier   bool `json:"outlier"`
+}
+
+type saveRequest struct {
+	Tuple     []any `json:"tuple"`
+	TimeoutMS int   `json:"timeout_ms"`
+}
+
+type repairRequest struct {
+	Tuples    [][]any `json:"tuples"`
+	TimeoutMS int     `json:"timeout_ms"`
+}
+
+type adjustmentJSON struct {
+	Saved     bool     `json:"saved"`
+	Natural   bool     `json:"natural"`
+	Exhausted bool     `json:"exhausted"`
+	Cost      float64  `json:"cost"`
+	Tuple     []any    `json:"tuple,omitempty"`
+	Adjusted  []string `json:"adjusted,omitempty"`
+	Nodes     int      `json:"nodes"`
+}
+
+type repairResponse struct {
+	Adjustments []adjustmentJSON `json:"adjustments"`
+	Saved       int              `json:"saved"`
+	Natural     int              `json:"natural"`
+	Exhausted   int              `json:"exhausted"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.endpoints["datasets"].Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	var (
+		sess *Session
+		err  error
+	)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "text/csv") {
+		// Raw CSV body; params ride in the query string.
+		q := r.URL.Query()
+		p := BuildParams{Kappa: 2}
+		p.Eps, _ = strconv.ParseFloat(q.Get("eps"), 64)
+		p.Eta, _ = strconv.Atoi(q.Get("eta"))
+		if k := q.Get("kappa"); k != "" {
+			p.Kappa, _ = strconv.Atoi(k)
+		}
+		rel, rerr := disc.ReadCSV(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+		if rerr != nil {
+			s.writeErr(w, r, http.StatusBadRequest, rerr)
+			return
+		}
+		name := q.Get("name")
+		if name == "" {
+			name = "upload.csv"
+		}
+		sess, err = s.reg.Upload(r.Context(), name, rel, p)
+	} else {
+		var req createRequest
+		if derr := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); derr != nil {
+			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", derr))
+			return
+		}
+		sources := 0
+		for _, set := range []bool{req.CSV != "", req.Path != "", req.Table1 != ""} {
+			if set {
+				sources++
+			}
+		}
+		if sources != 1 {
+			s.writeErr(w, r, http.StatusBadRequest,
+				errors.New("serve: exactly one of csv, path or table1 must be set"))
+			return
+		}
+		p := BuildParams{Eps: req.Eps, Eta: req.Eta, Kappa: req.Kappa, MaxNodes: req.MaxNodes, Seed: req.Seed}
+		switch {
+		case req.Path != "":
+			sess, err = s.reg.OpenPath(r.Context(), req.Path, p)
+		case req.Table1 != "":
+			scale := req.Scale
+			if scale <= 0 {
+				scale = 1
+			}
+			ds, derr := disc.Table1(req.Table1, scale, req.Seed)
+			if derr != nil {
+				s.writeErr(w, r, http.StatusBadRequest, derr)
+				return
+			}
+			if p.Eps <= 0 {
+				p.Eps = ds.Eps
+			}
+			if p.Eta < 1 {
+				p.Eta = ds.Eta
+			}
+			name := req.Name
+			if name == "" {
+				name = fmt.Sprintf("table1:%s@%g", req.Table1, scale)
+			}
+			sess, err = s.reg.Upload(r.Context(), name, ds.Rel, p)
+		default:
+			rel, rerr := disc.ReadCSV(strings.NewReader(req.CSV))
+			if rerr != nil {
+				s.writeErr(w, r, http.StatusBadRequest, rerr)
+				return
+			}
+			name := req.Name
+			if name == "" {
+				name = "upload.csv"
+			}
+			sess, err = s.reg.Upload(r.Context(), name, rel, p)
+		}
+	}
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, errClosed) {
+			status = http.StatusServiceUnavailable
+		} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.writeErr(w, r, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	infos := make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = sess.Info()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Delete(r.PathValue("id")) {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDetect is the cheap always-on screen: count ε-neighbors of each
+// query tuple against the cached full-relation index — no search, no
+// queueing, just range queries.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	s.endpoints["detect"].Requests.Add(1)
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	var req detectRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	if len(req.Tuples) == 0 {
+		s.writeErr(w, r, http.StatusBadRequest, errors.New("serve: tuples must be non-empty"))
+		return
+	}
+	// One counting view per request: the counters are goroutine-owned
+	// while the queries run, then merged into the session — the cached
+	// index answers, and the traffic proves it.
+	var qc disc.IndexCounters
+	view := disc.CountingIndex(sess.RelIdx, &qc)
+	resp := detectResponse{Eps: sess.Cons.Eps, Eta: sess.Cons.Eta,
+		Results: make([]detectResult, len(req.Tuples))}
+	for i, raw := range req.Tuples {
+		t, err := parseTuple(sess.Rel.Schema, raw)
+		if err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: tuple %d: %w", i, err))
+			return
+		}
+		// cap at η: the split only needs "≥ η or not", so the count stops
+		// early exactly like the detection pass would.
+		n := view.CountWithin(t, sess.Cons.Eps, -1, sess.Cons.Eta)
+		resp.Results[i] = detectResult{Neighbors: n, Outlier: n < sess.Cons.Eta}
+	}
+	var st obs.SearchStats
+	st.KNNQueries = qc.KNNQueries
+	st.RangeQueries = qc.RangeQueries
+	st.DistEvals = qc.DistEvals
+	st.GridFallbacks = qc.GridFallbacks
+	sess.addStats(&st, 0, int64(len(req.Tuples)))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSave repairs one tuple through the session's batcher.
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	es := s.endpoints["save"]
+	es.Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	var req saveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	t, err := parseTuple(sess.Rel.Schema, req.Tuple)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	sreq := &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es}
+	if err := sess.batcher.admit(sreq); err != nil {
+		s.writeAdmitErr(w, r, err)
+		return
+	}
+	select {
+	case res := <-sreq.res:
+		if res.err != nil {
+			s.writeErr(w, r, http.StatusGatewayTimeout, res.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, adjustmentToJSON(sess.Rel.Schema, res.adj))
+	case <-ctx.Done():
+		// The dispatcher will still answer the buffered channel; this
+		// request just stops waiting.
+		s.writeErr(w, r, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: request deadline exceeded: %w", ctx.Err()))
+	}
+}
+
+// handleRepair batches many tuples through the same admission path;
+// admission is all-or-nothing so a 429 never splits a batch.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	es := s.endpoints["repair"]
+	es.Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	var req repairRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	if len(req.Tuples) == 0 {
+		s.writeErr(w, r, http.StatusBadRequest, errors.New("serve: tuples must be non-empty"))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	reqs := make([]*saveReq, len(req.Tuples))
+	for i, raw := range req.Tuples {
+		t, err := parseTuple(sess.Rel.Schema, raw)
+		if err != nil {
+			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: tuple %d: %w", i, err))
+			return
+		}
+		reqs[i] = &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es}
+	}
+	if err := sess.batcher.admit(reqs...); err != nil {
+		s.writeAdmitErr(w, r, err)
+		return
+	}
+	resp := repairResponse{Adjustments: make([]adjustmentJSON, len(reqs))}
+	for i, sr := range reqs {
+		select {
+		case res := <-sr.res:
+			if res.err != nil {
+				s.writeErr(w, r, http.StatusGatewayTimeout,
+					fmt.Errorf("serve: tuple %d: %w", i, res.err))
+				return
+			}
+			aj := adjustmentToJSON(sess.Rel.Schema, res.adj)
+			resp.Adjustments[i] = aj
+			switch {
+			case aj.Saved:
+				resp.Saved++
+			case aj.Natural:
+				resp.Natural++
+			}
+			if aj.Exhausted {
+				resp.Exhausted++
+			}
+		case <-ctx.Done():
+			s.writeErr(w, r, http.StatusGatewayTimeout,
+				fmt.Errorf("serve: request deadline exceeded after %d/%d tuples: %w", i, len(reqs), ctx.Err()))
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Load balancers stop routing to a draining replica.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	count, _, _, _ := s.reg.Stats()
+	s.writeJSON(w, code, map[string]any{
+		"status":   status,
+		"sessions": count,
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleVarz exports every counter the server keeps: endpoint admission
+// stats, registry capacity state, and the per-session SearchStats and
+// PhaseTimings of the DISC pipeline (docs/OBSERVABILITY.md).
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	count, bytes, evicted, expired := s.reg.Stats()
+	endpoints := make(map[string]obs.EndpointSnapshot, len(s.endpoints))
+	for name, es := range s.endpoints {
+		endpoints[name] = es.Snapshot()
+	}
+	sessions := s.reg.List()
+	infos := make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = sess.Info()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":         time.Since(s.start).Seconds(),
+		"draining":         s.draining.Load(),
+		"panics_recovered": s.panics.Load(),
+		"registry": map[string]any{
+			"sessions":     count,
+			"bytes":        bytes,
+			"max_sessions": s.cfg.MaxSessions,
+			"max_bytes":    s.cfg.MaxBytes,
+			"evicted":      evicted,
+			"expired":      expired,
+		},
+		"endpoints": endpoints,
+		"sessions":  infos,
+	})
+}
+
+// --- plumbing ---
+
+// requestCtx derives the per-request save deadline: the client's timeout_ms
+// capped by the server's RequestBudget, on top of the connection context.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	budget := s.cfg.RequestBudget
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < budget {
+			budget = d
+		}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// refuseDraining answers 503 + Retry-After on mutating endpoints once the
+// drain has begun; reads stay available until the listener closes.
+func (s *Server) refuseDraining(w http.ResponseWriter, r *http.Request) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	s.writeErr(w, r, http.StatusServiceUnavailable, errClosed)
+	return true
+}
+
+// writeAdmitErr maps admission failures: queue overflow → 429 with a
+// Retry-After hinting one batch window, drain → 503.
+func (s *Server) writeAdmitErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		retry := int(math.Ceil(math.Max(s.cfg.BatchWindow.Seconds(), 1)))
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeErr(w, r, http.StatusTooManyRequests, err)
+	case errors.Is(err, errClosed):
+		w.Header().Set("Retry-After", "1")
+		s.writeErr(w, r, http.StatusServiceUnavailable, err)
+	default:
+		s.writeErr(w, r, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Warn("serve: encoding response", "err", err)
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, status, errorJSON{Error: err.Error(), RequestID: requestIDFrom(r.Context())})
+}
+
+// parseTuple decodes one JSON tuple ([1.5, "abc", ...]) against the
+// session's schema: numbers for numeric attributes, strings for text.
+func parseTuple(sch *disc.Schema, raw []any) (disc.Tuple, error) {
+	if len(raw) != sch.M() {
+		return nil, fmt.Errorf("serve: tuple has %d values, schema has %d attributes", len(raw), sch.M())
+	}
+	t := make(disc.Tuple, len(raw))
+	for i, v := range raw {
+		if sch.Attrs[i].Kind == disc.Text {
+			sv, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("serve: attribute %q is text, got %T", sch.Attrs[i].Name, v)
+			}
+			t[i] = disc.Str(sv)
+			continue
+		}
+		fv, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("serve: attribute %q is numeric, got %T", sch.Attrs[i].Name, v)
+		}
+		if math.IsNaN(fv) || math.IsInf(fv, 0) {
+			return nil, fmt.Errorf("serve: attribute %q is not finite", sch.Attrs[i].Name)
+		}
+		t[i] = disc.Num(fv)
+	}
+	return t, nil
+}
+
+// tupleToJSON is parseTuple's inverse.
+func tupleToJSON(sch *disc.Schema, t disc.Tuple) []any {
+	out := make([]any, len(t))
+	for i := range t {
+		if sch.Attrs[i].Kind == disc.Text {
+			out[i] = t[i].Str
+		} else {
+			out[i] = t[i].Num
+		}
+	}
+	return out
+}
+
+// adjustmentToJSON shapes one Adjustment for the wire. Cost is emitted only
+// for saved tuples — an unsaved adjustment's +Inf cost is not a JSON value.
+func adjustmentToJSON(sch *disc.Schema, adj disc.Adjustment) adjustmentJSON {
+	aj := adjustmentJSON{
+		Saved:     adj.Saved(),
+		Natural:   adj.Natural,
+		Exhausted: adj.Exhausted,
+		Nodes:     adj.Nodes,
+	}
+	if adj.Saved() {
+		aj.Cost = adj.Cost
+		aj.Tuple = tupleToJSON(sch, adj.Tuple)
+		for _, a := range adj.Adjusted.Attrs(sch.M()) {
+			aj.Adjusted = append(aj.Adjusted, sch.Attrs[a].Name)
+		}
+	}
+	return aj
+}

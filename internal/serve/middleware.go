@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// ctxKey keys the values this package stores in request contexts.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestIDFrom returns the request ID installed by the middleware, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusWriter captures the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// wrap layers the middleware: request ID assignment, panic recovery, and
+// request logging, outermost first.
+func (s *Server) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Request ID: honor the client's (proxies propagate one), mint
+		// otherwise, echo it back either way.
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			var buf [8]byte
+			rand.Read(buf[:])
+			id = hex.EncodeToString(buf[:])
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.log.Error("serve: panic in handler", "request_id", id,
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				if sw.status == 0 {
+					// Headers not sent yet: answer a proper 500. Otherwise
+					// the response is already on the wire; just cut it off.
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					json.NewEncoder(sw).Encode(errorJSON{
+						Error:     "internal server error",
+						RequestID: id,
+					})
+				}
+			}
+			s.log.Info("serve: request", "request_id", id,
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

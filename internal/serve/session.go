@@ -1,0 +1,585 @@
+// Package serve is the long-running serving layer over the DISC pipeline: a
+// dataset session registry that builds the neighbor index and
+// distance-constraint state once and serves many requests against it, a
+// micro-batching executor that coalesces concurrent save requests into
+// batches over the shared worker pool, and the JSON-over-HTTP surface of
+// cmd/discserve.
+//
+// The point of the subsystem is amortization: the paper's complexity
+// analysis (§4) charges O(m^{κ+1}·n) per outlier on top of index
+// construction, and the one-shot CLIs pay the construction on every
+// invocation. A session pays it once — upload or load a dataset, build its
+// index and η-radius table, then detection is a cheap always-on screen and
+// repair a budgeted per-request search, both against cached state.
+//
+// serve deliberately consumes the public disc API (plus internal/par for
+// the worker pool and internal/obs for counters) rather than internal/core:
+// it is the first out-of-repo-shaped consumer of the library surface.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	disc "repro"
+	"repro/internal/obs"
+)
+
+// BuildParams select the dataset and constraints of one session.
+type BuildParams struct {
+	// Eps and Eta are the distance constraints; non-positive values are
+	// determined automatically from the Poisson model (§2.1.2).
+	Eps float64
+	Eta int
+	// Kappa bounds adjusted attributes per save (≤ 0: unrestricted).
+	Kappa int
+	// MaxNodes bounds the search nodes per save (≤ 0: unlimited).
+	MaxNodes int
+	// Seed feeds the parameter-determination sampling.
+	Seed int64
+}
+
+// key canonicalizes the params for load-by-path deduplication.
+func (p BuildParams) key(path string) string {
+	return fmt.Sprintf("%s|%g|%d|%d|%d|%d", path, p.Eps, p.Eta, p.Kappa, p.MaxNodes, p.Seed)
+}
+
+// Session is one cached dataset: the relation, its detection split, the
+// full-relation index answering /detect, and a warm Saver (inlier index +
+// η-radius table + arena pool) answering /save — all built once.
+type Session struct {
+	ID string
+	// Name labels the session for humans (upload name, path, or table1
+	// spec); Key is the dedup key for path-loaded sessions ("" for
+	// uploads, which are never deduplicated).
+	Name, Key string
+	Rel       *disc.Relation
+	Cons      disc.Constraints
+	Kappa     int
+	Det       *disc.Detection
+	// RelIdx indexes the full relation (detection semantics: |r_ε(t)| is
+	// counted over the whole dataset); the saver holds its own index over
+	// the inlier subset.
+	RelIdx  disc.NeighborIndex
+	Saver   *disc.Saver
+	Created time.Time
+	// Bytes approximates the session's resident footprint (tuples plus
+	// index structures) for the registry's byte bound.
+	Bytes int64
+	// Timings records the one-off build phases, in the same shape SaveAll
+	// reports.
+	Timings obs.PhaseTimings
+
+	batcher *batcher
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	// stats accumulates the index and search traffic of every request
+	// served against the cached state; indexBuilds counts build events and
+	// never moves after construction — the pair is the warm-path proof
+	// that queries flow while nothing is rebuilt.
+	stats       obs.SearchStats
+	indexBuilds int64
+	saves       int64
+	detects     int64
+}
+
+// touch marks the session used now (LRU recency).
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// addStats folds one request's search/index traffic into the session.
+func (s *Session) addStats(st *obs.SearchStats, saves, detects int64) {
+	s.mu.Lock()
+	s.stats.Add(st)
+	s.saves += saves
+	s.detects += detects
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// SessionInfo is the JSON view of a session.
+type SessionInfo struct {
+	ID          string           `json:"id"`
+	Name        string           `json:"name"`
+	Tuples      int              `json:"tuples"`
+	Attrs       int              `json:"attrs"`
+	Eps         float64          `json:"eps"`
+	Eta         int              `json:"eta"`
+	Kappa       int              `json:"kappa"`
+	Inliers     int              `json:"inliers"`
+	Outliers    int              `json:"outliers"`
+	Bytes       int64            `json:"bytes"`
+	IndexBuilds int64            `json:"index_builds"`
+	Saves       int64            `json:"saves"`
+	Detects     int64            `json:"detects"`
+	Batches     int64            `json:"batches"`
+	QueueDepth  int              `json:"queue_depth"`
+	CreatedAt   time.Time        `json:"created_at"`
+	LastUsedAt  time.Time        `json:"last_used_at"`
+	Stats       obs.SearchStats  `json:"stats"`
+	Timings     obs.PhaseTimings `json:"timings"`
+}
+
+// Info snapshots the session.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		ID: s.ID, Name: s.Name,
+		Tuples: s.Rel.N(), Attrs: s.Rel.Schema.M(),
+		Eps: s.Cons.Eps, Eta: s.Cons.Eta, Kappa: s.Kappa,
+		Inliers: len(s.Det.Inliers), Outliers: len(s.Det.Outliers),
+		Bytes:       s.Bytes,
+		IndexBuilds: s.indexBuilds,
+		Saves:       s.saves, Detects: s.detects,
+		Batches:    s.batcher.batches.Load(),
+		QueueDepth: len(s.batcher.queue),
+		CreatedAt:  s.Created, LastUsedAt: s.lastUsed,
+		Stats: s.stats, Timings: s.Timings,
+	}
+}
+
+// newID returns a 16-hex-char random session id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// estimateBytes approximates the resident footprint of a session built over
+// rel: tuple storage plus a factor for the two neighbor indexes, the inlier
+// copy and the η-radius table. The registry's byte bound is a capacity
+// knob, not an accounting ledger, so a consistent estimate beats an exact
+// but expensive measurement.
+func estimateBytes(rel *disc.Relation) int64 {
+	const tupleOverhead = 48 // slice header + relation bookkeeping
+	const valueBytes = 32    // Value struct (float64 + string header)
+	m := int64(rel.Schema.M())
+	var b int64
+	for _, t := range rel.Tuples {
+		b += tupleOverhead + m*valueBytes
+		for i := range t {
+			b += int64(len(t[i].Str))
+		}
+	}
+	return 3 * b
+}
+
+// buildSession runs the one-off pipeline: validate, determine parameters if
+// unset, build the full-relation index, detect, and prepare the saver over
+// the inliers. Everything a warm request touches is constructed here.
+func buildSession(ctx context.Context, id, name, key string, rel *disc.Relation, p BuildParams, cfg Config, log *slog.Logger) (*Session, error) {
+	start := time.Now()
+	if rel.N() == 0 {
+		return nil, fmt.Errorf("serve: dataset %q is empty", name)
+	}
+	if err := disc.ValidateValues(rel); err != nil {
+		return nil, err
+	}
+	validate := time.Since(start)
+
+	cons := disc.Constraints{Eps: p.Eps, Eta: p.Eta}
+	if cons.Eps <= 0 || cons.Eta < 1 {
+		choice, err := disc.DetermineParamsContext(ctx, rel, disc.ParamOptions{Seed: p.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("serve: determining (ε, η) for %q: %w", name, err)
+		}
+		if cons.Eps <= 0 {
+			cons.Eps = choice.Eps
+		}
+		if cons.Eta < 1 {
+			cons.Eta = choice.Eta
+		}
+	}
+
+	t0 := time.Now()
+	relIdx := disc.BuildIndex(rel, cons.Eps)
+	detIdxBuild := time.Since(t0)
+	det, err := disc.DetectWithIndex(ctx, rel, cons, relIdx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: detecting over %q: %w", name, err)
+	}
+	if len(det.Inliers) == 0 {
+		return nil, fmt.Errorf("serve: every tuple of %q violates (ε=%g, η=%d); nothing to save against", name, cons.Eps, cons.Eta)
+	}
+	saver, err := disc.NewSaverContext(ctx, rel.Subset(det.Inliers), cons, disc.Options{
+		Kappa:    p.Kappa,
+		MaxNodes: p.MaxNodes,
+		Logger:   cfg.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: preparing saver for %q: %w", name, err)
+	}
+	setupStats, saverIdxBuild, etaRadius := saver.SetupStats()
+
+	s := &Session{
+		ID: id, Name: name, Key: key,
+		Rel: rel, Cons: cons, Kappa: p.Kappa,
+		Det: det, RelIdx: relIdx, Saver: saver,
+		Created: time.Now(), Bytes: estimateBytes(rel),
+		Timings: obs.PhaseTimings{
+			Validate: validate,
+			Detect:   det.Elapsed, DetectIndexBuild: detIdxBuild,
+			IndexBuild: saverIdxBuild, EtaRadius: etaRadius,
+			Total: time.Since(start),
+		},
+		lastUsed: time.Now(),
+		// Exactly two index builds per session lifetime: the full-relation
+		// detection index and the saver's inlier index. Warm requests must
+		// never move this counter.
+		indexBuilds: 2,
+	}
+	s.stats.Add(&det.Stats)
+	s.stats.Add(&setupStats)
+	s.batcher = newBatcher(s, cfg)
+	obs.Logger(log).Info("serve: session built", "id", id, "name", name,
+		"tuples", rel.N(), "inliers", len(det.Inliers), "outliers", len(det.Outliers),
+		"eps", cons.Eps, "eta", cons.Eta, "bytes", s.Bytes,
+		"build", s.Timings.Total)
+	return s, nil
+}
+
+// Registry is the LRU/TTL-bounded session cache. Uploads always create a
+// fresh session; load-by-path requests are deduplicated two ways — an
+// existing session with the same (path, params) key is returned directly,
+// and concurrent builds of the same key collapse onto one in-flight build
+// (singleflight) so a thundering herd pays for one index, not N.
+type Registry struct {
+	cfg Config
+	log *slog.Logger
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	byKey    map[string]*Session
+	inflight map[string]*inflightBuild
+	bytes    int64
+	closed   bool
+	evicted  int64
+	expired  int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// inflightBuild is one in-progress load-by-path build; waiters block on
+// done and read s/err after it closes.
+type inflightBuild struct {
+	done chan struct{}
+	s    *Session
+	err  error
+}
+
+// testBuildHook, when non-nil, runs inside every registry build, before the
+// session is constructed. Tests use it to hold builds open so concurrent
+// loads demonstrably collapse onto one flight.
+var testBuildHook func()
+
+// NewRegistry returns an empty registry and starts the TTL janitor when
+// cfg.TTL is set.
+func NewRegistry(cfg Config) *Registry {
+	r := &Registry{
+		cfg:      cfg,
+		log:      obs.Logger(cfg.Logger),
+		sessions: map[string]*Session{},
+		byKey:    map[string]*Session{},
+		inflight: map[string]*inflightBuild{},
+	}
+	if cfg.TTL > 0 {
+		r.janitorStop = make(chan struct{})
+		r.janitorDone = make(chan struct{})
+		go r.janitor()
+	}
+	return r
+}
+
+// janitor sweeps idle sessions every TTL/2.
+func (r *Registry) janitor() {
+	defer close(r.janitorDone)
+	tick := time.NewTicker(r.cfg.TTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.janitorStop:
+			return
+		case now := <-tick.C:
+			r.Sweep(now)
+		}
+	}
+}
+
+// Sweep evicts sessions idle longer than the TTL; it is the janitor's body,
+// exported so tests (and embedders without the janitor) can drive time
+// explicitly.
+func (r *Registry) Sweep(now time.Time) {
+	if r.cfg.TTL <= 0 {
+		return
+	}
+	var drop []*Session
+	r.mu.Lock()
+	for _, s := range r.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > r.cfg.TTL {
+			drop = append(drop, s)
+		}
+	}
+	for _, s := range drop {
+		r.removeLocked(s)
+		r.expired++
+	}
+	r.mu.Unlock()
+	for _, s := range drop {
+		r.log.Info("serve: session expired", "id", s.ID, "name", s.Name, "ttl", r.cfg.TTL)
+		go s.batcher.close()
+	}
+}
+
+// Upload builds a session from an already-parsed relation and registers it
+// under a fresh id. Uploads are never deduplicated: two identical uploads
+// are two sessions.
+func (r *Registry) Upload(ctx context.Context, name string, rel *disc.Relation, p BuildParams) (*Session, error) {
+	if testBuildHook != nil {
+		testBuildHook()
+	}
+	s, err := buildSession(ctx, newID(), name, "", rel, p, r.cfg, r.log)
+	if err != nil {
+		return nil, err
+	}
+	return r.register(s)
+}
+
+// OpenPath returns the session for (path, params), loading and building it
+// on first use. Concurrent calls for the same key share one build.
+func (r *Registry) OpenPath(ctx context.Context, path string, p BuildParams) (*Session, error) {
+	key := p.key(path)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errClosed
+	}
+	if s, ok := r.byKey[key]; ok {
+		r.mu.Unlock()
+		s.touch()
+		return s, nil
+	}
+	if fl, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.s, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &inflightBuild{done: make(chan struct{})}
+	r.inflight[key] = fl
+	r.mu.Unlock()
+
+	s, err := r.loadAndBuild(ctx, path, key, p)
+	if err == nil {
+		s, err = r.register(s)
+	}
+	fl.s, fl.err = s, err
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(fl.done)
+	return s, err
+}
+
+// loadAndBuild reads the dataset file (CSV, or a dataset JSON written by
+// WriteDatasetJSON, which carries its own (ε, η) defaults) and builds the
+// session.
+func (r *Registry) loadAndBuild(ctx context.Context, path, key string, p BuildParams) (*Session, error) {
+	if testBuildHook != nil {
+		testBuildHook()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening dataset: %w", err)
+	}
+	defer f.Close()
+	var rel *disc.Relation
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		ds, err := disc.ReadDatasetJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+		}
+		rel = ds.Rel
+		if p.Eps <= 0 {
+			p.Eps = ds.Eps
+		}
+		if p.Eta < 1 {
+			p.Eta = ds.Eta
+		}
+	} else {
+		rel, err = disc.ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+		}
+	}
+	return buildSession(ctx, newID(), path, key, rel, p, r.cfg, r.log)
+}
+
+// register installs a built session and enforces the count/byte bounds,
+// evicting least-recently-used sessions (never the one just added).
+func (r *Registry) register(s *Session) (*Session, error) {
+	var drop []*Session
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		go s.batcher.close()
+		return nil, errClosed
+	}
+	r.sessions[s.ID] = s
+	if s.Key != "" {
+		r.byKey[s.Key] = s
+	}
+	r.bytes += s.Bytes
+	for r.overLocked() {
+		lru := r.lruLocked(s)
+		if lru == nil {
+			break
+		}
+		r.removeLocked(lru)
+		r.evicted++
+		drop = append(drop, lru)
+	}
+	r.mu.Unlock()
+	for _, old := range drop {
+		r.log.Info("serve: session evicted", "id", old.ID, "name", old.Name,
+			"bytes", old.Bytes, "for", s.ID)
+		go old.batcher.close()
+	}
+	return s, nil
+}
+
+// overLocked reports whether the count or byte bound is exceeded. The
+// newest session is always kept even when it alone exceeds MaxBytes —
+// evicting what was just built would livelock the cache — hence the
+// len > 1 guards.
+func (r *Registry) overLocked() bool {
+	if r.cfg.MaxSessions > 0 && len(r.sessions) > r.cfg.MaxSessions && len(r.sessions) > 1 {
+		return true
+	}
+	if r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes && len(r.sessions) > 1 {
+		return true
+	}
+	return false
+}
+
+// lruLocked returns the least-recently-used session other than keep.
+func (r *Registry) lruLocked(keep *Session) *Session {
+	var lru *Session
+	var lruAt time.Time
+	for _, s := range r.sessions {
+		if s == keep {
+			continue
+		}
+		s.mu.Lock()
+		at := s.lastUsed
+		s.mu.Unlock()
+		if lru == nil || at.Before(lruAt) {
+			lru, lruAt = s, at
+		}
+	}
+	return lru
+}
+
+// removeLocked unlinks a session from the maps and the byte ledger; the
+// caller closes its batcher outside the lock.
+func (r *Registry) removeLocked(s *Session) {
+	delete(r.sessions, s.ID)
+	if s.Key != "" && r.byKey[s.Key] == s {
+		delete(r.byKey, s.Key)
+	}
+	r.bytes -= s.Bytes
+}
+
+// Get returns the session and marks it used.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	r.mu.Unlock()
+	if ok {
+		s.touch()
+	}
+	return s, ok
+}
+
+// Delete evicts the session; in-flight requests against it still complete
+// (the batcher drains), new ones see 404.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	if ok {
+		r.removeLocked(s)
+	}
+	r.mu.Unlock()
+	if ok {
+		go s.batcher.close()
+	}
+	return ok
+}
+
+// List snapshots the sessions sorted by id.
+func (r *Registry) List() []*Session {
+	r.mu.Lock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Stats returns the registry-level counters for /varz.
+func (r *Registry) Stats() (count int, bytes, evicted, expired int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions), r.bytes, r.evicted, r.expired
+}
+
+// Close stops admission on every session, drains their queues (in-flight
+// and already-queued requests complete), and blocks until every dispatcher
+// has exited. The registry rejects new sessions afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	all := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		all = append(all, s)
+	}
+	r.sessions = map[string]*Session{}
+	r.byKey = map[string]*Session{}
+	r.bytes = 0
+	r.mu.Unlock()
+	if r.janitorStop != nil {
+		close(r.janitorStop)
+		<-r.janitorDone
+	}
+	for _, s := range all {
+		s.batcher.close()
+	}
+}
