@@ -6,11 +6,11 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_4.json
+BENCHOUT ?= BENCH_5.json
 BENCHKEY ?= after
-BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke profile
 
 check: build vet race cover bench-check serve-smoke fuzz
 
@@ -37,6 +37,14 @@ cover:
 	$(GO) test -coverprofile=.cover.out.tmp ./...
 	$(GO) tool cover -func=.cover.out.tmp | tail -n 1
 	rm -f .cover.out.tmp
+
+# Profile the mixed numeric+text pipeline (the compiled-kernel showcase,
+# see docs/PERFORMANCE.md): discbench runs the `mixed` experiment with CPU
+# and heap profiles written next to the repo root. Inspect with
+# `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/discbench -exp mixed -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; open with: $(GO) tool pprof cpu.prof"
 
 # Smoke pass: run every benchmark in the tree exactly once so a benchmark
 # that panics or regresses into an error fails tier-1 without paying for a

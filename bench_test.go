@@ -220,6 +220,71 @@ func BenchmarkClusterDBSCAN(b *testing.B) {
 	}
 }
 
+// mixedWorkload builds the mixed numeric+text fixture once per bench: the
+// distance-layer worst case (per-value kind branches, O(len²) string
+// metrics, repeated identical string pairs) that the compiled kernels
+// target. Kept distinct from ablationWorkload (all-numeric Letter) so the
+// BENCH_*.json trajectory separates columnar-layout wins from
+// text-cache wins.
+func mixedWorkload(b *testing.B) (*disc.Dataset, disc.Constraints) {
+	b.Helper()
+	ds, err := disc.GenMixed(disc.MixedSpec{
+		Name: "MixedBench", N: 800, Entities: 650, DirtyFrac: 0.05,
+		Eps: 2.0, Eta: 3, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, disc.Constraints{Eps: ds.Eps, Eta: ds.Eta}
+}
+
+// BenchmarkDetectMixed measures violation detection over the mixed
+// numeric+text fixture — the headline number for the compiled distance
+// kernels (BENCH_5.json before/after).
+func BenchmarkDetectMixed(b *testing.B) {
+	ds, cons := mixedWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Detect(ds.Rel, cons, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaveSingleMixed measures one Algorithm 1 invocation on the
+// mixed fixture, where the candidate table and bound evaluations pay for
+// text distances.
+func BenchmarkSaveSingleMixed(b *testing.B) {
+	ds, cons := mixedWorkload(b)
+	det, err := disc.Detect(ds.Rel, cons)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(det.Outliers) == 0 {
+		b.Skip("no outliers")
+	}
+	saver, err := disc.NewSaver(ds.Rel.Subset(det.Inliers), cons, disc.Options{Kappa: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	to := ds.Rel.Tuples[det.Outliers[0]]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saver.Save(to)
+	}
+}
+
+// BenchmarkClusterDBSCANMixed measures density clustering over the mixed
+// fixture (text distances inside every ε-range expansion).
+func BenchmarkClusterDBSCANMixed(b *testing.B) {
+	ds, cons := mixedWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disc.DBSCAN(ds.Rel, disc.DBSCANConfig{Eps: cons.Eps, MinPts: cons.Eta})
+	}
+}
+
 // BenchmarkClusterKMeans measures the centroid clustering pass at the
 // dataset's ground-truth K.
 func BenchmarkClusterKMeans(b *testing.B) {

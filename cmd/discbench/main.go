@@ -38,15 +38,15 @@ func main() {
 // execute on every path — os.Exit would skip them.
 func run() int {
 	var (
-		id      = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
-		list    = flag.Bool("list", false, "list the available experiments")
-		scale   = flag.Float64("scale", 1, "multiply the per-experiment dataset scales (0 < scale ≤ ...)")
-		seed    = flag.Int64("seed", 1, "random seed for data generation and algorithms")
-		verb    = flag.Bool("v", false, "print progress while running")
-		plot    = flag.Bool("plot", false, "additionally render each table's numeric columns as ASCII charts")
-		format  = flag.String("format", "text", "output format: text, csv or markdown")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
-		workers = flag.Int("workers", 0, "per-method parallelism (0 = GOMAXPROCS)")
+		id        = flag.String("exp", "", "experiment id (table2..table5, fig4..fig10, or 'all')")
+		list      = flag.Bool("list", false, "list the available experiments")
+		scale     = flag.Float64("scale", 1, "multiply the per-experiment dataset scales (0 < scale ≤ ...)")
+		seed      = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		verb      = flag.Bool("v", false, "print progress while running")
+		plot      = flag.Bool("plot", false, "additionally render each table's numeric columns as ASCII charts")
+		format    = flag.String("format", "text", "output format: text, csv or markdown")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		workers   = flag.Int("workers", 0, "per-method parallelism (0 = GOMAXPROCS)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
 		statsJSON = flag.String("stats-json", "", "write per-experiment DISC search counters as a JSON map to this file (\"-\" = stderr)")

@@ -17,10 +17,12 @@ var (
 	Table1 = data.Table1
 	// Table1Names lists the dataset names in paper order.
 	Table1Names = data.Table1Names
-	// GenMixture, GenGPS and GenRestaurant are the underlying generators.
+	// GenMixture, GenGPS, GenRestaurant and GenMixed are the underlying
+	// generators.
 	GenMixture    = data.GenMixture
 	GenGPS        = data.GenGPS
 	GenRestaurant = data.GenRestaurant
+	GenMixed      = data.GenMixed
 	// WriteDatasetJSON / ReadDatasetJSON persist a dataset together with
 	// its ground truth (labels, injected errors, clean originals).
 	WriteDatasetJSON = data.WriteDatasetJSON
@@ -35,6 +37,8 @@ type (
 	GPSSpec = data.GPSSpec
 	// RestaurantSpec parameterizes the textual record-linkage generator.
 	RestaurantSpec = data.RestaurantSpec
+	// MixedSpec parameterizes the mixed numeric+text generator.
+	MixedSpec = data.MixedSpec
 )
 
 // Cleaner is the interface of the competitor cleaning methods.

@@ -45,9 +45,12 @@ func Matrix(rel *data.Relation) ([][]float64, error) {
 			return nil, fmt.Errorf("cluster: attribute %q is not numeric", a.Name)
 		}
 	}
+	// One flat backing array for all rows: n+1 allocations become 2, and
+	// the row-major layout keeps Lloyd's scans cache-friendly.
+	flat := make([]float64, rel.N()*m)
 	out := make([][]float64, rel.N())
 	for i, t := range rel.Tuples {
-		row := make([]float64, m)
+		row := flat[i*m : (i+1)*m : (i+1)*m]
 		for a := 0; a < m; a++ {
 			v := t[a].Num
 			if s := rel.Schema.Attrs[a].Scale; s > 0 {

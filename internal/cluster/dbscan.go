@@ -44,6 +44,10 @@ func DBSCANContext(ctx context.Context, rel *data.Relation, cfg DBSCANConfig) (R
 	done := ctx.Done()
 	cluster := 0
 	queue := make([]int, 0, 64)
+	// One scratch buffer serves every range query: each result set is
+	// drained into queue before the next query runs, so the expansion
+	// allocates only when the buffer grows past its high-water mark.
+	var scratch []neighbors.Neighbor
 	for i := 0; i < n; i++ {
 		if done != nil {
 			select {
@@ -60,14 +64,14 @@ func DBSCANContext(ctx context.Context, rel *data.Relation, cfg DBSCANConfig) (R
 		if labels[i] != -2 {
 			continue
 		}
-		nbs := idx.Within(rel.Tuples[i], cfg.Eps, i)
-		if len(nbs) < cfg.MinPts {
+		scratch = neighbors.WithinBuf(idx, scratch, rel.Tuples[i], cfg.Eps, i)
+		if len(scratch) < cfg.MinPts {
 			labels[i] = -1 // noise (may be upgraded to border later)
 			continue
 		}
 		labels[i] = cluster
 		queue = queue[:0]
-		for _, nb := range nbs {
+		for _, nb := range scratch {
 			queue = append(queue, nb.Idx)
 		}
 		for len(queue) > 0 {
@@ -80,9 +84,9 @@ func DBSCANContext(ctx context.Context, rel *data.Relation, cfg DBSCANConfig) (R
 				continue
 			}
 			labels[j] = cluster
-			jn := idx.Within(rel.Tuples[j], cfg.Eps, j)
-			if len(jn) >= cfg.MinPts {
-				for _, nb := range jn {
+			scratch = neighbors.WithinBuf(idx, scratch, rel.Tuples[j], cfg.Eps, j)
+			if len(scratch) >= cfg.MinPts {
+				for _, nb := range scratch {
 					if labels[nb.Idx] == -2 || labels[nb.Idx] == -1 {
 						queue = append(queue, nb.Idx)
 					}

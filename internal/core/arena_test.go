@@ -60,10 +60,17 @@ func TestSaveSteadyStateAllocs(t *testing.T) {
 		s.save(ctx, to, ar)
 	})
 	// The per-save fixed costs are a handful of allocations; per node the
-	// budget is zero, so the total must not scale with Nodes.
-	if allocs > 16 {
-		t.Errorf("steady-state save allocates %.1f times over %d nodes; want a small node-independent constant",
-			allocs, adj.Nodes)
+	// budget is zero, so the total must not scale with Nodes. The race
+	// detector's sync.Pool drops ~25% of released kernel queries, so each
+	// save re-allocates a few of its handful of query binds; the wider
+	// budget still fails on anything that scales with Nodes.
+	budget := 16.0
+	if raceDetector {
+		budget = 64
+	}
+	if allocs > budget {
+		t.Errorf("steady-state save allocates %.1f times (budget %.0f) over %d nodes; want a small node-independent constant",
+			allocs, budget, adj.Nodes)
 	}
 }
 

@@ -37,6 +37,11 @@ func ComputeBounds(r *data.Relation, cons Constraints, to data.Tuple, x data.Att
 	b := Bounds{Lower: math.Inf(1), Upper: math.Inf(1)}
 	sch := r.Schema
 	idx := neighbors.NewBrute(r)
+	// Distances to the outlier go through the brute index's compiled
+	// kernel: the query binds once and text distances hit the shared
+	// per-pair cache the index queries also warm.
+	kq := idx.Kernel().Bind(to)
+	defer kq.Release()
 
 	// Candidates: r_ε(t_o[X]).
 	type cand struct {
@@ -44,12 +49,12 @@ func ComputeBounds(r *data.Relation, cons Constraints, to data.Tuple, x data.Att
 		dx, dfull float64
 	}
 	var cands []cand
-	for i, t := range r.Tuples {
-		dx := sch.DistOn(to, t, x)
+	for i := 0; i < r.N(); i++ {
+		dx := kq.DistToX(i, x)
 		if dx > cons.Eps {
 			continue
 		}
-		cands = append(cands, cand{i: i, dx: dx, dfull: sch.Dist(to, t)})
+		cands = append(cands, cand{i: i, dx: dx, dfull: kq.DistTo(i)})
 	}
 	if len(cands) < cons.Eta {
 		return b, nil // Lower stays +Inf: infeasible with this X
@@ -78,7 +83,7 @@ func ComputeBounds(r *data.Relation, cons Constraints, to data.Tuple, x data.Att
 		if etaRadius > cons.Eps-c.dx {
 			continue
 		}
-		cost := sch.DistOn(to, t2, compl)
+		cost := kq.DistToX(c.i, compl)
 		if cost < b.Upper {
 			b.Upper = cost
 			b.Witness = data.Compose(to, t2, x)

@@ -72,6 +72,10 @@ type Saver struct {
 	cons Constraints
 	opts Options
 	idx  neighbors.Index
+	// kern is the compiled distance kernel over r, shared with idx when
+	// the index is kernel-backed so the per-pair text-distance cache is
+	// warmed by both; the per-outlier candidate tables read from it.
+	kern *data.Kernel
 	// etaRadius[i] = δ_η(t_i): distance from t_i to its η-th nearest
 	// neighbor within r. A tuple position with δ_η ≤ ε − d satisfies the
 	// constraints for any adjustment within d of it (Proposition 5).
@@ -138,6 +142,12 @@ func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, op
 		builtIndex: built,
 	}
 	s.setup.indexBuild = indexBuild
+	s.kern = neighbors.KernelOf(idx)
+	if s.kern == nil {
+		// Custom Options.Index without a kernel: compile one for the
+		// candidate tables (its text cache is simply not shared).
+		s.kern = data.CompileKernel(r)
+	}
 	s.arenas.New = func() any { return new(saveArena) }
 	workers := opts.Workers
 	if workers <= 0 {
@@ -186,6 +196,9 @@ func addCounters(s *obs.SearchStats, c neighbors.Counters) {
 	s.RangeQueries += c.RangeQueries
 	s.DistEvals += c.DistEvals
 	s.GridFallbacks += c.GridFallbacks
+	s.DistEarlyExits += c.DistEarlyExits
+	s.TextCacheHits += c.TextCacheHits
+	s.TextCacheMisses += c.TextCacheMisses
 }
 
 // Rel returns the inlier relation r.
@@ -326,11 +339,14 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 	ar.attrD = st.attrD
 	st.fullD = grow(ar.fullD, c)
 	ar.fullD = st.fullD
+	// Fill the tables through the compiled kernel: the outlier binds once,
+	// per-attribute distances read flat columns, and repeated text values
+	// hit the pair cache / query memo instead of re-running Levenshtein.
+	kq := s.kern.Bind(to)
 	for ci, i := range st.ids {
-		t := s.rel.Tuples[i]
 		acc := 0.0
 		for a := 0; a < s.m; a++ {
-			d := sch.AttrDist(a, to[a], t[a])
+			d := kq.AttrDist(a, i)
 			if s.sqNorm {
 				d = d * d
 			}
@@ -339,6 +355,9 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 		}
 		st.fullD[ci] = acc
 	}
+	st.stats.TextCacheHits += kq.TextCacheHits
+	st.stats.TextCacheMisses += kq.TextCacheMisses
+	kq.Release()
 
 	// Root candidate set: X = ∅ admits every (truncated) inlier. The root
 	// lists live in the depth-0 slabs; recurse builds each child's list in

@@ -343,8 +343,14 @@ func TestInstrumentationAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, func() {
 		s.save(ctx, to, ar)
 	})
-	if allocs > 16 {
-		t.Errorf("instrumented steady-state save allocates %.1f per call over %d nodes",
-			allocs, adj.Stats.Nodes)
+	// Same race-mode widening as TestSaveSteadyStateAllocs: the race
+	// detector's sync.Pool drops re-admit a few query-bind allocations.
+	budget := 16.0
+	if raceDetector {
+		budget = 64
+	}
+	if allocs > budget {
+		t.Errorf("instrumented steady-state save allocates %.1f per call (budget %.0f) over %d nodes",
+			allocs, budget, adj.Stats.Nodes)
 	}
 }

@@ -1,0 +1,163 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metric"
+)
+
+// MixedSpec parameterizes a heterogeneous numeric+text dataset in the
+// style of a business directory: each record carries identifying text
+// attributes (name/city/type, record-linkage style as in GenRestaurant)
+// plus numeric measurements (rating, price, coordinates). The mix is the
+// worst case for the distance layer — per-value kind branches, O(len²)
+// string metrics, and repeated evaluation of identical string pairs —
+// which makes it the fixture for the compiled-kernel benchmarks.
+type MixedSpec struct {
+	Name string
+	// N tuples, Entities distinct businesses (N−Entities duplicates).
+	N, Entities int
+	// DirtyFrac is the fraction of tuples corrupted with typos or
+	// numeric shifts.
+	DirtyFrac float64
+	// Eps and Eta are the recorded distance constraints.
+	Eps  float64
+	Eta  int
+	Seed int64
+}
+
+// GenMixed builds the mixed numeric+text dataset. Chain-mates share
+// name/city/type exactly and sit near each other numerically, so every
+// inlier has several ε-neighbors; dirty tuples carry heavy typos in a
+// text attribute or a large numeric shift.
+func GenMixed(sp MixedSpec) (*Dataset, error) {
+	if sp.N <= 0 || sp.Entities <= 0 || sp.Entities > sp.N {
+		return nil, fmt.Errorf("data: invalid mixed spec n=%d entities=%d", sp.N, sp.Entities)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+
+	// name and type deliberately leave Text nil to exercise the default
+	// Levenshtein path; city uses Needleman–Wunsch so both resolved text
+	// metrics appear in one schema. price is down-weighted by its scale
+	// so natural spread stays within ε.
+	schema := &Schema{Attrs: []Attribute{
+		{Name: "name", Kind: Text, Scale: 1},
+		{Name: "city", Kind: Text, Text: metric.NeedlemanWunsch, Scale: 1},
+		{Name: "type", Kind: Text, Scale: 1},
+		{Name: "rating", Kind: Numeric, Scale: 1},
+		{Name: "price", Kind: Numeric, Scale: 10},
+		{Name: "x", Kind: Numeric, Scale: 1},
+		{Name: "y", Kind: Numeric, Scale: 1},
+	}}
+
+	type entity struct {
+		name, city, typ string
+		rating, price   float64
+		x, y            float64
+	}
+	// Chains of 4–8 branches share name/city/type and cluster around the
+	// chain's numeric profile, giving every inlier η-many ε-neighbors.
+	entities := make([]entity, 0, sp.Entities)
+	for len(entities) < sp.Entities {
+		name := rstNameParts1[rng.Intn(len(rstNameParts1))] + " " + rstNameParts2[rng.Intn(len(rstNameParts2))]
+		city := rstCities[rng.Intn(len(rstCities))]
+		typ := rstTypes[rng.Intn(len(rstTypes))]
+		baseRating := 1 + 4*rng.Float64()
+		basePrice := 10 + 40*rng.Float64()
+		baseX, baseY := 10*rng.Float64(), 10*rng.Float64()
+		branches := 4 + rng.Intn(5)
+		for b := 0; b < branches && len(entities) < sp.Entities; b++ {
+			entities = append(entities, entity{
+				name:   name,
+				city:   city,
+				typ:    typ,
+				rating: clampF(baseRating+0.3*rng.NormFloat64(), 0, 5),
+				price:  basePrice + 2*rng.NormFloat64(),
+				x:      baseX + 0.3*rng.NormFloat64(),
+				y:      baseY + 0.3*rng.NormFloat64(),
+			})
+		}
+	}
+
+	ds := &Dataset{
+		Name:    sp.Name,
+		Rel:     NewRelation(schema),
+		Labels:  make([]int, sp.N),
+		Dirty:   make([]AttrMask, sp.N),
+		Natural: make([]bool, sp.N),
+		Clean:   make([]Tuple, sp.N),
+		Eps:     sp.Eps,
+		Eta:     sp.Eta,
+		Classes: sp.Entities,
+	}
+
+	toTuple := func(e entity) Tuple {
+		return Tuple{Str(e.name), Str(e.city), Str(e.typ), Num(e.rating), Num(e.price), Num(e.x), Num(e.y)}
+	}
+	for i, e := range entities {
+		ds.Rel.Append(toTuple(e))
+		ds.Labels[i] = i
+	}
+	// Duplicates: re-recordings of a random entity with fresh measurement
+	// noise and occasionally a light text variation.
+	dups := sp.N - sp.Entities
+	for d := 0; d < dups; d++ {
+		src := rng.Intn(sp.Entities)
+		v := entities[src]
+		v.rating = clampF(v.rating+0.1*rng.NormFloat64(), 0, 5)
+		v.price += rng.NormFloat64()
+		v.x += 0.1 * rng.NormFloat64()
+		v.y += 0.1 * rng.NormFloat64()
+		if rng.Intn(4) == 0 {
+			v.name = typo(rng, v.name, 1)
+		}
+		ds.Rel.Append(toTuple(v))
+		ds.Labels[sp.Entities+d] = src
+	}
+
+	// Dirty outliers: heavy typos in name or city, or a numeric shift far
+	// beyond the natural spread, enough to violate (ε, η).
+	nDirty := int(math.Round(sp.DirtyFrac * float64(sp.N)))
+	perm := rng.Perm(sp.N)
+	done := 0
+	for _, i := range perm {
+		if done >= nDirty {
+			break
+		}
+		if ds.Dirty[i] != 0 {
+			continue
+		}
+		ds.Clean[i] = ds.Rel.Tuples[i].Clone()
+		a := 0
+		switch rng.Intn(4) {
+		case 0: // city typo
+			a = 1
+		case 1: // coordinate shift
+			a = 5 + rng.Intn(2)
+		}
+		if schema.Attrs[a].Kind == Text {
+			ds.Rel.Tuples[i][a] = Str(typo(rng, ds.Rel.Tuples[i][a].Str, 6+rng.Intn(4)))
+		} else {
+			shift := 8 + 6*rng.Float64()
+			if rng.Intn(2) == 0 {
+				shift = -shift
+			}
+			ds.Rel.Tuples[i][a] = Num(ds.Rel.Tuples[i][a].Num + shift)
+		}
+		ds.Dirty[i] = AttrMask(0).With(a)
+		done++
+	}
+	return ds, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

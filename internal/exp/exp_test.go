@@ -29,7 +29,7 @@ func cell(t *testing.T, tb *Table, rowKey, col string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "fig10", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"table2", "table3", "table4", "table5"}
+		"mixed", "table2", "table3", "table4", "table5"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -505,5 +505,41 @@ func TestAblationShape(t *testing.T) {
 	}
 	if beats == 0 {
 		t.Error("no index beat the brute-force scan")
+	}
+}
+
+func TestMixedShape(t *testing.T) {
+	e, ok := Find("mixed")
+	if !ok {
+		t.Fatal("mixed experiment not registered")
+	}
+	res, err := e.Run(Config{Seed: 1, SizeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("mixed produced %d tables, want 3", len(res.Tables))
+	}
+	pipe := res.Tables[0]
+	if cell(t, &pipe, "outliers detected", "Value") <= 0 {
+		t.Error("dirty fixture detected no outliers")
+	}
+	if cell(t, &pipe, "saved", "Value") <= 0 {
+		t.Error("no outlier was saved")
+	}
+	// The kernel counters must show the caches engaging: a text-heavy
+	// pipeline with far fewer distinct values than pairs should answer
+	// most text distances from cache.
+	kern := res.Tables[1]
+	hits := cell(t, &kern, "text_cache_hits", "Value")
+	misses := cell(t, &kern, "text_cache_misses", "Value")
+	if hits <= 0 {
+		t.Error("text cache recorded no hits")
+	}
+	if hits < misses {
+		t.Errorf("text cache hits %v < misses %v: cache not engaging", hits, misses)
+	}
+	if cell(t, &kern, "dist_evals", "Value") <= 0 {
+		t.Error("no distance evaluations counted")
 	}
 }

@@ -46,9 +46,9 @@ func runFig5(cfg Config) (*Result, error) {
 		for _, eps := range sp.epsList {
 			for _, rate := range sp.rates {
 				counts, err := core.NeighborCountsContext(cfg.context(), ds.Rel, eps, rate, cfg.Seed, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig5: %w", err)
-			}
+				if err != nil {
+					return nil, fmt.Errorf("fig5: %w", err)
+				}
 				pois, err := stats.FitPoisson(counts)
 				if err != nil {
 					return nil, fmt.Errorf("fig5: fit: %w", err)

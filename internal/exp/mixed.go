@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func init() {
+	register(Experiment{
+		ID: "mixed",
+		Title: "Mixed numeric+text pipeline over the compiled distance kernels " +
+			"(docs/PERFORMANCE.md)",
+		Run: runMixed,
+	})
+}
+
+// runMixed exercises the full DISC pipeline on the mixed numeric+text
+// business-directory dataset — the workload the compiled kernel layer is
+// built for: interned text columns, the per-pair Levenshtein cache and the
+// ε early exit all engage at once. Alongside the usual save outcome it
+// reports the kernel counters, so the cache hit rate and early-exit share
+// are visible per phase. This is also the fixture `make profile` runs.
+func runMixed(cfg Config) (*Result, error) {
+	frac := cfg.scale(1)
+	n := int(800 * frac)
+	if n < 40 {
+		n = 40
+	}
+	sp := data.MixedSpec{
+		Name:      "MixedExp",
+		N:         n,
+		Entities:  n * 4 / 5,
+		DirtyFrac: 0.05,
+		Eps:       2.0,
+		Eta:       3,
+		Seed:      cfg.Seed,
+	}
+	ds, err := data.GenMixed(sp)
+	if err != nil {
+		return nil, fmt.Errorf("mixed: %w", err)
+	}
+	cons := core.Constraints{Eps: ds.Eps, Eta: ds.Eta}
+	cfg.progressf("mixed: business directory (n=%d, 3 text + 4 numeric attrs)\n", ds.N())
+
+	start := time.Now()
+	res, err := core.SaveAllContext(cfg.context(), ds.Rel, cons,
+		cfg.discOptions("mixed", core.Options{Kappa: 2}))
+	if err != nil {
+		return nil, fmt.Errorf("mixed: %w", err)
+	}
+	cfg.recordStats(res)
+	elapsed := time.Since(start)
+
+	pipeline := Table{
+		Title:  fmt.Sprintf("Mixed pipeline: DISC over the business directory (n=%d)", ds.N()),
+		Header: []string{"Stage", "Value"},
+		Rows: [][]string{
+			{"outliers detected", fmt.Sprint(len(res.Detection.Outliers))},
+			{"saved", fmt.Sprint(res.Saved)},
+			{"natural", fmt.Sprint(res.Natural)},
+			{"detect time (s)", fmtS(res.Timings.Detect.Seconds())},
+			{"save time (s)", fmtS(res.Timings.Save.Seconds())},
+			{"total time (s)", fmtS(elapsed.Seconds())},
+		},
+	}
+
+	// Kernel counters: how much of the distance work the compiled layer
+	// answered without paying for it (see docs/PERFORMANCE.md).
+	st := res.Stats
+	textEvals := st.TextCacheHits + st.TextCacheMisses
+	hitRate := 0.0
+	if textEvals > 0 {
+		hitRate = float64(st.TextCacheHits) / float64(textEvals)
+	}
+	kern := Table{
+		Title:  "Mixed pipeline: compiled-kernel counters",
+		Header: []string{"Counter", "Value"},
+		Rows: [][]string{
+			{"dist_evals", fmt.Sprint(st.DistEvals)},
+			{"dist_early_exits", fmt.Sprint(st.DistEarlyExits)},
+			{"text_cache_hits", fmt.Sprint(st.TextCacheHits)},
+			{"text_cache_misses", fmt.Sprint(st.TextCacheMisses)},
+			{"text cache hit rate", fmtF(hitRate)},
+		},
+	}
+
+	// Clustering before and after the repair: saving outliers should not
+	// shatter the directory's entity clusters.
+	raw := cluster.DBSCAN(ds.Rel, cluster.DBSCANConfig{Eps: ds.Eps, MinPts: ds.Eta})
+	rep := cluster.DBSCAN(res.Repaired, cluster.DBSCANConfig{Eps: ds.Eps, MinPts: ds.Eta})
+	clTable := Table{
+		Title:  "Mixed pipeline: DBSCAN before/after repair",
+		Header: []string{"Data", "Clusters", "Noise"},
+		Rows: [][]string{
+			{"raw", fmt.Sprint(raw.K), fmt.Sprint(countNoise(raw.Labels))},
+			{"repaired", fmt.Sprint(rep.K), fmt.Sprint(countNoise(rep.Labels))},
+		},
+	}
+
+	return &Result{Tables: []Table{pipeline, kern, clTable}}, nil
+}
+
+// countNoise counts the -1 labels of a clustering.
+func countNoise(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l < 0 {
+			n++
+		}
+	}
+	return n
+}

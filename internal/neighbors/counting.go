@@ -13,6 +13,14 @@ type Counters struct {
 	RangeQueries  int64 // Within + CountWithin
 	DistEvals     int64
 	GridFallbacks int64
+	// Kernel-level refinements of DistEvals (each eval is one pair
+	// considered; these say how much of it was actually paid for):
+	// pairs abandoned by the ε early exit before the last attribute,
+	// text metric evaluations avoided by the pair cache or query memo,
+	// and text metric evaluations actually computed.
+	DistEarlyExits  int64
+	TextCacheHits   int64
+	TextCacheMisses int64
 }
 
 // Add folds o into c.
@@ -21,6 +29,38 @@ func (c *Counters) Add(o Counters) {
 	c.RangeQueries += o.RangeQueries
 	c.DistEvals += o.DistEvals
 	c.GridFallbacks += o.GridFallbacks
+	c.DistEarlyExits += o.DistEarlyExits
+	c.TextCacheHits += o.TextCacheHits
+	c.TextCacheMisses += o.TextCacheMisses
+}
+
+// kernHooks are the per-view destinations for a query's kernel counters;
+// flush harvests a bound query's tallies and releases it to the pool.
+// The zero value discards the counts.
+type kernHooks struct {
+	earlyExits, cacheHits, cacheMisses *int64
+}
+
+func (h kernHooks) flush(q *data.KernelQuery) {
+	if h.earlyExits != nil {
+		*h.earlyExits += q.EarlyExits
+	}
+	if h.cacheHits != nil {
+		*h.cacheHits += q.TextCacheHits
+	}
+	if h.cacheMisses != nil {
+		*h.cacheMisses += q.TextCacheMisses
+	}
+	q.Release()
+}
+
+// hooksFor builds the kernel hook set pointing into c.
+func hooksFor(c *Counters) kernHooks {
+	return kernHooks{
+		earlyExits:  &c.DistEarlyExits,
+		cacheHits:   &c.TextCacheHits,
+		cacheMisses: &c.TextCacheMisses,
+	}
 }
 
 // Reset zeroes the counters.
@@ -42,22 +82,27 @@ func Counting(idx Index, c *Counters) Index {
 	case *Brute:
 		cp := *t
 		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
 		return &counting{idx: &cp, c: c}
 	case *Grid:
 		cp := *t
 		cp.evals = &c.DistEvals
 		cp.fallbacks = &c.GridFallbacks
+		cp.ks = hooksFor(c)
 		bcp := *t.brute
 		bcp.evals = &c.DistEvals
+		bcp.ks = hooksFor(c)
 		cp.brute = &bcp
 		return &counting{idx: &cp, c: c}
 	case *VPTree:
 		cp := *t
 		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
 		return &counting{idx: &cp, c: c}
 	case *KDTree:
 		cp := *t
 		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
 		return &counting{idx: &cp, c: c}
 	case *ctxIndex:
 		// Re-wrap inside-out so cancellation still short-circuits before
@@ -81,6 +126,12 @@ type counting struct {
 func (w *counting) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 	w.c.RangeQueries++
 	return w.idx.Within(q, eps, skip)
+}
+
+// WithinAppend implements WithinAppender.
+func (w *counting) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	w.c.RangeQueries++
+	return withinAppend(w.idx, dst, q, eps, skip)
 }
 
 // CountWithin implements Index.

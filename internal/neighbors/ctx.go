@@ -51,6 +51,15 @@ func (c *ctxIndex) Within(q data.Tuple, eps float64, skip int) []Neighbor {
 	return c.idx.Within(q, eps, skip)
 }
 
+// WithinAppend implements WithinAppender; a cancelled context appends
+// nothing.
+func (c *ctxIndex) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	if c.cancelled() {
+		return dst
+	}
+	return withinAppend(c.idx, dst, q, eps, skip)
+}
+
 // CountWithin implements Index.
 func (c *ctxIndex) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 	if c.cancelled() {

@@ -2,6 +2,7 @@ package neighbors
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/data"
 )
@@ -14,23 +15,43 @@ import (
 // valid for every supported norm: each per-attribute (scaled) distance is
 // bounded by the L1/L2/L∞ aggregate, so a tuple within ε in aggregate is
 // within ε on every axis.
+//
+// Cell keys are packed into a single uint64 when they fit: each
+// dimension's coordinate, offset to its build-time minimum, occupies a
+// fixed bit field sized to the build-time coordinate range. The packing
+// is bijective over in-range coordinates — probes outside a dimension's
+// range address cells that were empty at build time and are skipped
+// before key construction, so two distinct cells can never alias one
+// key (TestGridPackedKeyCollisionSafety pins this). Relations whose
+// ranges do not fit in 64 bits, or with m > gridStackDims, keep the
+// fixed-width string-key fallback.
 type Grid struct {
-	r     *data.Relation
-	cell  float64
-	cells map[string][]int
-	m     int
+	r    *data.Relation
+	kern *data.Kernel
+	cell float64
+	m    int
+	// packed selects the uint64-key layout; minC/maxC/shift describe the
+	// per-dimension bit fields.
+	packed   bool
+	minC     []int
+	maxC     []int
+	shift    []uint
+	cells    map[uint64][]int
+	cellsStr map[string][]int
 	// brute is the pre-built fallback for queries whose cell cube would
 	// cost more than a scan; hoisted here so fallbacks allocate nothing.
+	// It shares the grid's compiled kernel (and text caches).
 	brute *Brute
 	// evals and fallbacks, when non-nil, count distance evaluations and
 	// brute-scan degradations (see Counting).
 	evals     *int64
 	fallbacks *int64
+	ks        kernHooks
 }
 
 // gridStackDims bounds the dimensionality for which a query walks the cell
 // cube with stack-resident coordinate and key buffers; wider (unusual)
-// grids fall back to per-query heap buffers.
+// grids fall back to per-query heap buffers and string keys.
 const gridStackDims = 8
 
 // NewGrid indexes the relation with the given cell size (clamped to a small
@@ -45,21 +66,85 @@ func NewGrid(r *data.Relation, cell float64) *Grid {
 	if cell <= 0 {
 		cell = 1
 	}
-	g := &Grid{r: r, cell: cell, cells: make(map[string][]int), m: r.Schema.M(), brute: NewBrute(r)}
-	kb := make([]byte, 0, g.m*8)
+	kern := data.CompileKernel(r)
+	g := &Grid{r: r, kern: kern, cell: cell, m: r.Schema.M(), brute: newBruteKernel(r, kern)}
+
+	// One pass for the coordinates, so the key layout can be sized to the
+	// build-time ranges before insertion.
+	n := r.N()
+	coords := make([]int, n*g.m)
+	g.minC, g.maxC = make([]int, g.m), make([]int, g.m)
+	for a := 0; a < g.m; a++ {
+		g.minC[a], g.maxC[a] = 0, -1 // empty range until a tuple lands
+	}
 	for i, t := range r.Tuples {
-		kb = kb[:0]
 		for a := 0; a < g.m; a++ {
-			kb = appendCoord(kb, g.coord(t, a))
+			c := g.coord(t, a)
+			coords[i*g.m+a] = c
+			if i == 0 || c < g.minC[a] {
+				g.minC[a] = c
+			}
+			if i == 0 || c > g.maxC[a] {
+				g.maxC[a] = c
+			}
 		}
-		k := string(kb) // insertion must materialize the key string
-		g.cells[k] = append(g.cells[k], i)
+	}
+	g.packed = g.m <= gridStackDims
+	if g.packed {
+		g.shift = make([]uint, g.m)
+		total := uint(0)
+		for a := 0; a < g.m && g.packed; a++ {
+			g.shift[a] = total
+			span := uint64(0)
+			if n > 0 {
+				span = uint64(g.maxC[a] - g.minC[a])
+			}
+			total += uint(bits.Len64(span))
+			if total > 64 {
+				g.packed = false
+			}
+		}
+	}
+	if g.packed {
+		g.cells = make(map[uint64][]int)
+		for i := 0; i < n; i++ {
+			key, _ := g.packKey(coords[i*g.m : (i+1)*g.m])
+			g.cells[key] = append(g.cells[key], i)
+		}
+	} else {
+		g.cellsStr = make(map[string][]int)
+		kb := make([]byte, 0, g.m*8)
+		for i := 0; i < n; i++ {
+			kb = kb[:0]
+			for a := 0; a < g.m; a++ {
+				kb = appendCoord(kb, coords[i*g.m+a])
+			}
+			k := string(kb) // insertion must materialize the key string
+			g.cellsStr[k] = append(g.cellsStr[k], i)
+		}
 	}
 	return g
 }
 
+// packKey packs in-range cell coordinates into the bijective uint64 key.
+// ok is false when any coordinate falls outside its build-time range —
+// such a cell held no tuples at build time, so probes skip it (this
+// range guard is what makes the packing collision-free).
+func (g *Grid) packKey(c []int) (key uint64, ok bool) {
+	for a := 0; a < g.m; a++ {
+		if c[a] < g.minC[a] || c[a] > g.maxC[a] {
+			return 0, false
+		}
+		key |= uint64(c[a]-g.minC[a]) << g.shift[a]
+	}
+	return key, true
+}
+
 // Rel returns the indexed relation.
 func (g *Grid) Rel() *data.Relation { return g.r }
+
+// Kernel implements Kerneled.
+func (g *Grid) Kernel() *data.Kernel { return g.kern }
 
 // coord returns the scaled grid coordinate of attribute a of tuple t; the
 // grid must bucket by the same scaled units the distance uses.
@@ -73,7 +158,8 @@ func (g *Grid) coord(t data.Tuple, a int) int {
 
 // appendCoord appends the fixed-width little-endian encoding of one grid
 // coordinate; fixed-width string keys make cheap map keys without a 64-bit
-// hash collision analysis.
+// hash collision analysis (the fallback layout for grids the packed keys
+// cannot address).
 func appendCoord(b []byte, c int) []byte {
 	u := uint64(int64(c))
 	for s := 0; s < 64; s += 8 {
@@ -84,19 +170,20 @@ func appendCoord(b []byte, c int) []byte {
 
 // visit walks every cell within reach cells of q's cell in each dimension
 // and calls fn with the tuple indexes stored there. fn returns false to
-// stop early. The coordinate odometer and the key buffer live on the stack
-// (for m ≤ gridStackDims) and are reused across cells, so the walk itself
-// performs zero heap allocations: the map probe converts the key buffer
-// with the alloc-free string(b) lookup form.
+// stop early. The coordinate odometer and the key buffers live on the
+// stack (for m ≤ gridStackDims) and are reused across cells, so the walk
+// itself performs zero heap allocations: packed probes are a single
+// uint64 map lookup, string-fallback probes use the alloc-free string(b)
+// lookup form.
 func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
-	var baseA, offA [gridStackDims]int
+	var baseA, offA, cellA [gridStackDims]int
 	var keyA [gridStackDims * 8]byte
-	var base, off []int
+	var base, off, cc []int
 	var kb []byte
 	if g.m <= gridStackDims {
-		base, off, kb = baseA[:g.m], offA[:g.m], keyA[:0]
+		base, off, cc, kb = baseA[:g.m], offA[:g.m], cellA[:g.m], keyA[:0]
 	} else {
-		base, off = make([]int, g.m), make([]int, g.m)
+		base, off, cc = make([]int, g.m), make([]int, g.m), make([]int, g.m)
 		kb = make([]byte, 0, g.m*8)
 	}
 	for a := 0; a < g.m; a++ {
@@ -104,11 +191,24 @@ func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
 		off[a] = -reach
 	}
 	for {
-		b := kb[:0]
-		for a := 0; a < g.m; a++ {
-			b = appendCoord(b, base[a]+off[a])
+		var idx []int
+		var ok bool
+		if g.packed {
+			for a := 0; a < g.m; a++ {
+				cc[a] = base[a] + off[a]
+			}
+			var key uint64
+			if key, ok = g.packKey(cc); ok {
+				idx, ok = g.cells[key]
+			}
+		} else {
+			b := kb[:0]
+			for a := 0; a < g.m; a++ {
+				b = appendCoord(b, base[a]+off[a])
+			}
+			idx, ok = g.cellsStr[string(b)]
 		}
-		if idx, ok := g.cells[string(b)]; ok {
+		if ok {
 			if !fn(idx) {
 				return
 			}
@@ -148,24 +248,31 @@ func (g *Grid) tooWide(reach int) bool {
 
 // Within implements Index.
 func (g *Grid) Within(q data.Tuple, eps float64, skip int) []Neighbor {
+	return g.WithinAppend(nil, q, eps, skip)
+}
+
+// WithinAppend implements WithinAppender.
+func (g *Grid) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
 	if g.tooWide(g.reach(eps)) {
 		count(g.fallbacks)
-		return g.brute.Within(q, eps, skip)
+		return g.brute.WithinAppend(dst, q, eps, skip)
 	}
-	var out []Neighbor
+	kq := g.kern.Bind(q)
+	defer g.ks.flush(kq)
+	bound := g.kern.LEBound(eps)
 	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
 			if i == skip {
 				continue
 			}
 			count(g.evals)
-			if d := g.r.Schema.Dist(q, g.r.Tuples[i]); d <= eps {
-				out = append(out, Neighbor{Idx: i, Dist: d})
+			if d, within := kq.DistToLE(i, bound); within {
+				dst = append(dst, Neighbor{Idx: i, Dist: d})
 			}
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // CountWithin implements Index.
@@ -174,6 +281,9 @@ func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 		count(g.fallbacks)
 		return g.brute.CountWithin(q, eps, skip, cap)
 	}
+	kq := g.kern.Bind(q)
+	defer g.ks.flush(kq)
+	bound := g.kern.LEBound(eps)
 	c := 0
 	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
@@ -181,7 +291,7 @@ func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 				continue
 			}
 			count(g.evals)
-			if g.r.Schema.Dist(q, g.r.Tuples[i]) <= eps {
+			if _, within := kq.DistToLE(i, bound); within {
 				c++
 				if cap > 0 && c >= cap {
 					return false

@@ -1,0 +1,160 @@
+package neighbors
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestGridPackedKeyCollisionSafety pins the bijectivity contract of the
+// uint64 cell keys: distinct in-range cells must map to distinct keys, and
+// probes for out-of-range cells must be rejected before key construction
+// (a naive hash would let a far-away probe alias an occupied cell and
+// return spurious neighbors). The packKey check enumerates the whole
+// coordinate box; the query check compares against the brute scan for
+// probes far outside, straddling, and inside the built range.
+func TestGridPackedKeyCollisionSafety(t *testing.T) {
+	r := data.NewRelation(data.NewNumericSchema("x", "y", "z"))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		// Include negative coordinates so the min-offset logic is exercised.
+		r.Append(data.Tuple{
+			data.Num(rng.Float64()*40 - 20),
+			data.Num(rng.Float64()*40 - 20),
+			data.Num(rng.Float64()*40 - 20),
+		})
+	}
+	g := NewGrid(r, 1.5)
+	if !g.packed {
+		t.Fatalf("grid over a compact range should use packed keys")
+	}
+
+	// Exhaustive bijectivity over the in-range coordinate box.
+	seen := make(map[uint64][3]int)
+	c := make([]int, 3)
+	for c[0] = g.minC[0]; c[0] <= g.maxC[0]; c[0]++ {
+		for c[1] = g.minC[1]; c[1] <= g.maxC[1]; c[1]++ {
+			for c[2] = g.minC[2]; c[2] <= g.maxC[2]; c[2]++ {
+				key, ok := g.packKey(c)
+				if !ok {
+					t.Fatalf("in-range cell %v rejected", c)
+				}
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("cells %v and %v collide on key %#x", prev, c, key)
+				}
+				seen[key] = [3]int{c[0], c[1], c[2]}
+			}
+		}
+	}
+
+	// Out-of-range probes must be rejected, never aliased into the box.
+	for trial := 0; trial < 200; trial++ {
+		for a := range c {
+			c[a] = g.minC[a] + rng.Intn(g.maxC[a]-g.minC[a]+1)
+		}
+		a := rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			c[a] = g.minC[a] - 1 - rng.Intn(1<<20)
+		} else {
+			c[a] = g.maxC[a] + 1 + rng.Intn(1<<20)
+		}
+		if _, ok := g.packKey(c); ok {
+			t.Fatalf("out-of-range cell %v accepted", c)
+		}
+	}
+
+	// Differential check including probes whose cell cube lies entirely or
+	// partially outside the built range.
+	brute := NewBrute(r)
+	for trial := 0; trial < 120; trial++ {
+		var q data.Tuple
+		switch trial % 3 {
+		case 0: // inside the data range
+			q = data.Tuple{
+				data.Num(rng.Float64()*40 - 20),
+				data.Num(rng.Float64()*40 - 20),
+				data.Num(rng.Float64()*40 - 20),
+			}
+		case 1: // straddling the boundary
+			q = data.Tuple{
+				data.Num(20 + rng.Float64()*2 - 1),
+				data.Num(-20 + rng.Float64()*2 - 1),
+				data.Num(rng.Float64()*40 - 20),
+			}
+		default: // far outside: every probed cell is out of range
+			q = data.Tuple{
+				data.Num(1e6 + rng.Float64()*10),
+				data.Num(-1e6 - rng.Float64()*10),
+				data.Num(rng.Float64() * 1e5),
+			}
+		}
+		eps := 0.5 + rng.Float64()*3
+		want := brute.Within(q, eps, -1)
+		sameNeighborSet(t, "packed grid.Within", g.Within(q, eps, -1), want)
+		if got := g.CountWithin(q, eps, -1, 0); got != len(want) {
+			t.Fatalf("packed grid.CountWithin = %d, want %d", got, len(want))
+		}
+	}
+}
+
+// TestGridStringFallback forces both fallback triggers — coordinate ranges
+// too wide for 64 bits, and dimensionality above gridStackDims — and
+// checks the string-keyed grid still answers exactly like the brute scan.
+func TestGridStringFallback(t *testing.T) {
+	t.Run("wide-span", func(t *testing.T) {
+		r := data.NewRelation(data.NewNumericSchema("x", "y", "z"))
+		rng := rand.New(rand.NewSource(13))
+		// Spans around 2^42 cells per dimension: 3 dims cannot pack into 64
+		// bits. Tuples still cluster so queries have non-trivial results.
+		var centers [4][3]float64
+		for i := range centers {
+			for a := range centers[i] {
+				centers[i][a] = (rng.Float64()*2 - 1) * 4e12
+			}
+		}
+		for i := 0; i < 200; i++ {
+			ct := centers[i%len(centers)]
+			r.Append(data.Tuple{
+				data.Num(ct[0] + rng.Float64()*4),
+				data.Num(ct[1] + rng.Float64()*4),
+				data.Num(ct[2] + rng.Float64()*4),
+			})
+		}
+		g := NewGrid(r, 1.5)
+		if g.packed {
+			t.Fatalf("grid spanning ~2^42 cells per dimension should fall back to string keys")
+		}
+		brute := NewBrute(r)
+		for trial := 0; trial < 60; trial++ {
+			ct := centers[rng.Intn(len(centers))]
+			q := data.Tuple{
+				data.Num(ct[0] + rng.Float64()*6 - 1),
+				data.Num(ct[1] + rng.Float64()*6 - 1),
+				data.Num(ct[2] + rng.Float64()*6 - 1),
+			}
+			eps := 0.5 + rng.Float64()*3
+			want := brute.Within(q, eps, -1)
+			sameNeighborSet(t, "fallback grid.Within", g.Within(q, eps, -1), want)
+		}
+	})
+
+	t.Run("many-dims", func(t *testing.T) {
+		r := randomRelation(150, gridStackDims+1, 17)
+		g := NewGrid(r, 2)
+		if g.packed {
+			t.Fatalf("grid with m > gridStackDims should fall back to string keys")
+		}
+		brute := NewBrute(r)
+		rng := rand.New(rand.NewSource(19))
+		for trial := 0; trial < 40; trial++ {
+			q := make(data.Tuple, gridStackDims+1)
+			for a := range q {
+				q[a] = data.Num(rng.Float64() * 10)
+			}
+			eps := 1 + rng.Float64()*4
+			want := brute.Within(q, eps, -1)
+			sameNeighborSet(t, "many-dims grid.Within", g.Within(q, eps, -1), want)
+		}
+	})
+}

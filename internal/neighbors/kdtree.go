@@ -11,11 +11,18 @@ import (
 // low-to-mid-dimensional index complementing the grid (fixed cell size)
 // and the VP-tree (general metric). Splitting cycles through the widest-
 // spread attribute at each level; leaves hold small buckets.
+//
+// Build reads coordinates from the compiled kernel's flat columns; leaf
+// scans bind the query once and abandon a pair as soon as its partial
+// aggregate exceeds the query radius (or the current k-th distance).
 type KDTree struct {
 	r      *data.Relation
+	kern   *data.Kernel
 	m      int
 	scales []float64
-	nodes  []kdNode
+	// cols aliases the kernel's raw numeric columns (read-only).
+	cols  [][]float64
+	nodes []kdNode
 	// points holds tuple indexes, partitioned in place during the build
 	// so every node owns a contiguous range.
 	points []int
@@ -23,6 +30,7 @@ type KDTree struct {
 	// evals, when non-nil, counts query-time distance evaluations (see
 	// Counting).
 	evals *int64
+	ks    kernHooks
 }
 
 type kdNode struct {
@@ -44,13 +52,15 @@ func NewKDTree(r *data.Relation) *KDTree {
 		}
 	}
 	m := r.Schema.M()
-	t := &KDTree{r: r, m: m, scales: make([]float64, m), root: -1}
+	t := &KDTree{r: r, kern: data.CompileKernel(r), m: m, scales: make([]float64, m), root: -1}
+	t.cols = make([][]float64, m)
 	for a := 0; a < m; a++ {
 		if s := r.Schema.Attrs[a].Scale; s > 0 {
 			t.scales[a] = 1 / s
 		} else {
 			t.scales[a] = 1
 		}
+		t.cols[a] = t.kern.NumColumn(a)
 	}
 	if r.N() == 0 {
 		return t
@@ -64,7 +74,7 @@ func NewKDTree(r *data.Relation) *KDTree {
 }
 
 func (t *KDTree) coord(i, a int) float64 {
-	return t.r.Tuples[i][a].Num * t.scales[a]
+	return t.cols[a][i] * t.scales[a]
 }
 
 func (t *KDTree) build(lo, hi int) int {
@@ -116,30 +126,39 @@ func (t *KDTree) build(lo, hi int) int {
 // Rel returns the indexed relation.
 func (t *KDTree) Rel() *data.Relation { return t.r }
 
+// Kernel implements Kerneled.
+func (t *KDTree) Kernel() *data.Kernel { return t.kern }
+
 // Within implements Index.
 func (t *KDTree) Within(q data.Tuple, eps float64, skip int) []Neighbor {
-	var out []Neighbor
-	t.rangeSearch(t.root, q, eps, skip, func(n Neighbor) bool {
-		out = append(out, n)
-		return true
-	})
-	return out
+	return t.WithinAppend(nil, q, eps, skip)
+}
+
+// WithinAppend implements WithinAppender; the closure-free recursion keeps
+// a caller-reused dst allocation-free.
+func (t *KDTree) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	if t.root < 0 {
+		return dst
+	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
+	return t.rangeAppend(t.root, kq, q, eps, t.kern.LEBound(eps), skip, dst)
 }
 
 // CountWithin implements Index.
 func (t *KDTree) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
-	c := 0
-	t.rangeSearch(t.root, q, eps, skip, func(Neighbor) bool {
-		c++
-		return cap <= 0 || c < cap
-	})
+	if t.root < 0 {
+		return 0
+	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
+	c, _ := t.rangeCount(t.root, kq, q, eps, t.kern.LEBound(eps), skip, cap, 0)
 	return c
 }
 
-func (t *KDTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit func(Neighbor) bool) bool {
-	if id < 0 {
-		return true
-	}
+// rangeAppend appends every tuple within eps of the bound query to dst;
+// leb is the precomputed accumulator bound for the ε early exit.
+func (t *KDTree) rangeAppend(id int, kq *data.KernelQuery, q data.Tuple, eps, leb float64, skip int, dst []Neighbor) []Neighbor {
 	n := &t.nodes[id]
 	if n.attr < 0 {
 		for _, i := range t.points[n.lo:n.hi] {
@@ -147,29 +166,58 @@ func (t *KDTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit f
 				continue
 			}
 			count(t.evals)
-			if d := t.r.Schema.Dist(q, t.r.Tuples[i]); d <= eps {
-				if !emit(Neighbor{Idx: i, Dist: d}) {
-					return false
-				}
+			if d, within := kq.DistToLE(i, leb); within {
+				dst = append(dst, Neighbor{Idx: i, Dist: d})
 			}
 		}
-		return true
+		return dst
 	}
 	qa := q[n.attr].Num * t.scales[n.attr]
 	// The search ball can only reach across the split plane within eps
 	// (L2/L1 per-attribute distances are bounded below by the coordinate
 	// gap; L∞ likewise).
 	if qa-eps < n.split {
-		if !t.rangeSearch(n.left, q, eps, skip, emit) {
-			return false
+		dst = t.rangeAppend(n.left, kq, q, eps, leb, skip, dst)
+	}
+	if qa+eps >= n.split {
+		dst = t.rangeAppend(n.right, kq, q, eps, leb, skip, dst)
+	}
+	return dst
+}
+
+// rangeCount counts tuples within eps of the bound query, aborting once
+// the running count c reaches cap (cap ≤ 0 disables the early exit);
+// more=false propagates the abort.
+func (t *KDTree) rangeCount(id int, kq *data.KernelQuery, q data.Tuple, eps, leb float64, skip, cap, c int) (int, bool) {
+	n := &t.nodes[id]
+	if n.attr < 0 {
+		for _, i := range t.points[n.lo:n.hi] {
+			if i == skip {
+				continue
+			}
+			count(t.evals)
+			if _, within := kq.DistToLE(i, leb); within {
+				c++
+				if cap > 0 && c >= cap {
+					return c, false
+				}
+			}
+		}
+		return c, true
+	}
+	qa := q[n.attr].Num * t.scales[n.attr]
+	more := true
+	if qa-eps < n.split {
+		if c, more = t.rangeCount(n.left, kq, q, eps, leb, skip, cap, c); !more {
+			return c, false
 		}
 	}
 	if qa+eps >= n.split {
-		if !t.rangeSearch(n.right, q, eps, skip, emit) {
-			return false
+		if c, more = t.rangeCount(n.right, kq, q, eps, leb, skip, cap, c); !more {
+			return c, false
 		}
 	}
-	return true
+	return c, true
 }
 
 // KNN implements Index.
@@ -177,12 +225,23 @@ func (t *KDTree) KNN(q data.Tuple, k, skip int) []Neighbor {
 	if k <= 0 || t.root < 0 {
 		return nil
 	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
 	h := newMaxHeap(k)
-	t.knnSearch(t.root, q, skip, h)
+	s := kdKNN{kq: kq, h: h, bound: math.Inf(1), leb: math.Inf(1)}
+	t.knnSearch(t.root, q, skip, &s)
 	return h.sorted()
 }
 
-func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
+// kdKNN carries the heap and its cached early-exit bound through the k-NN
+// descent; leb is recomputed only when the k-th distance changes.
+type kdKNN struct {
+	kq         *data.KernelQuery
+	h          *maxHeap
+	bound, leb float64
+}
+
+func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, s *kdKNN) {
 	n := &t.nodes[id]
 	if n.attr < 0 {
 		for _, i := range t.points[n.lo:n.hi] {
@@ -190,7 +249,15 @@ func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
 				continue
 			}
 			count(t.evals)
-			h.offer(Neighbor{Idx: i, Dist: t.r.Schema.Dist(q, t.r.Tuples[i])})
+			d, within := s.kq.DistToLE(i, s.leb)
+			if !within {
+				continue
+			}
+			s.h.offer(Neighbor{Idx: i, Dist: d})
+			if bd, full := s.h.bound(); full && bd != s.bound {
+				s.bound = bd
+				s.leb = t.kern.LEBound(bd)
+			}
 		}
 		return
 	}
@@ -199,9 +266,9 @@ func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
 	if qa >= n.split {
 		near, far = n.right, n.left
 	}
-	t.knnSearch(near, q, skip, h)
-	bound, full := h.bound()
+	t.knnSearch(near, q, skip, s)
+	bound, full := s.h.bound()
 	if !full || math.Abs(qa-n.split) <= bound {
-		t.knnSearch(far, q, skip, h)
+		t.knnSearch(far, q, skip, s)
 	}
 }

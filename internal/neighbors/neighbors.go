@@ -7,6 +7,7 @@
 package neighbors
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/data"
@@ -35,6 +36,60 @@ type Index interface {
 	Rel() *data.Relation
 }
 
+// WithinAppender is the optional extension of Index for allocation-
+// sensitive callers: WithinAppend appends the ε-neighbors to dst (which
+// may be nil or a reused buffer truncated by the caller) instead of
+// allocating a fresh result slice per query. All four concrete indexes
+// and the counting/context views implement it; DBSCAN's seed expansion
+// depends on it for its near-zero steady-state allocation budget.
+type WithinAppender interface {
+	WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor
+}
+
+// WithinBuf routes a range query through WithinAppend when the index
+// supports it, falling back to Within plus a copy into dst otherwise.
+// The result always starts at dst[:0], so callers can reuse one scratch
+// buffer across queries.
+func WithinBuf(idx Index, dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	return withinAppend(idx, dst[:0], q, eps, skip)
+}
+
+// withinAppend appends idx's ε-neighbors to dst, using the index's own
+// WithinAppend when available (the counting/context views forward
+// through here so buffers survive the wrapping).
+func withinAppend(idx Index, dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	if wa, ok := idx.(WithinAppender); ok {
+		return wa.WithinAppend(dst, q, eps, skip)
+	}
+	return append(dst, idx.Within(q, eps, skip)...)
+}
+
+// Kerneled is implemented by indexes backed by a compiled distance
+// kernel (see data.Kernel). KernelOf unwraps views to reach it.
+type Kerneled interface {
+	Kernel() *data.Kernel
+}
+
+// KernelOf returns the compiled kernel behind idx, looking through the
+// counting and context views, or nil when the index is not
+// kernel-backed. Callers like the saver's bound computations use it to
+// share one kernel — and its text-distance cache — with the index built
+// over the same relation.
+func KernelOf(idx Index) *data.Kernel {
+	for {
+		switch t := idx.(type) {
+		case Kerneled:
+			return t.Kernel()
+		case *counting:
+			idx = t.idx
+		case *ctxIndex:
+			idx = t.idx
+		default:
+			return nil
+		}
+	}
+}
+
 // Build picks an index for the relation: a grid when the schema is fully
 // numeric with at most six attributes (range queries touch 3^m cells), a
 // VP-tree otherwise. eps hints the grid cell size; it must be > 0 for the
@@ -60,43 +115,65 @@ func Build(r *data.Relation, eps float64) Index {
 }
 
 // Brute is the exhaustive-scan index; it is the correctness reference for
-// the other implementations.
+// the other implementations. Scans run over the compiled distance kernel:
+// queries bind once, rows are read from flat columns, and range scans
+// abandon a pair as soon as its partial aggregate exceeds ε.
 type Brute struct {
-	r *data.Relation
-	// evals, when non-nil, counts distance evaluations (see Counting).
+	r    *data.Relation
+	kern *data.Kernel
+	// evals, when non-nil, counts distance evaluations (see Counting):
+	// one per pair considered, whether or not the pair early-exited.
 	evals *int64
+	ks    kernHooks
 }
 
-// NewBrute indexes r by keeping a reference to it.
-func NewBrute(r *data.Relation) *Brute { return &Brute{r: r} }
+// NewBrute indexes r, compiling a distance kernel over it.
+func NewBrute(r *data.Relation) *Brute { return newBruteKernel(r, data.CompileKernel(r)) }
+
+// newBruteKernel indexes r reusing an already-compiled kernel (the grid
+// shares one kernel between its cells and its brute fallback).
+func newBruteKernel(r *data.Relation, k *data.Kernel) *Brute { return &Brute{r: r, kern: k} }
 
 // Rel returns the indexed relation.
 func (b *Brute) Rel() *data.Relation { return b.r }
 
+// Kernel implements Kerneled.
+func (b *Brute) Kernel() *data.Kernel { return b.kern }
+
 // Within implements Index.
 func (b *Brute) Within(q data.Tuple, eps float64, skip int) []Neighbor {
-	var out []Neighbor
-	for i, t := range b.r.Tuples {
+	return b.WithinAppend(nil, q, eps, skip)
+}
+
+// WithinAppend implements WithinAppender.
+func (b *Brute) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	kq := b.kern.Bind(q)
+	defer b.ks.flush(kq)
+	bound := b.kern.LEBound(eps)
+	for i, n := 0, b.r.N(); i < n; i++ {
 		if i == skip {
 			continue
 		}
 		count(b.evals)
-		if d := b.r.Schema.Dist(q, t); d <= eps {
-			out = append(out, Neighbor{Idx: i, Dist: d})
+		if d, within := kq.DistToLE(i, bound); within {
+			dst = append(dst, Neighbor{Idx: i, Dist: d})
 		}
 	}
-	return out
+	return dst
 }
 
 // CountWithin implements Index.
 func (b *Brute) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
+	kq := b.kern.Bind(q)
+	defer b.ks.flush(kq)
+	bound := b.kern.LEBound(eps)
 	c := 0
-	for i, t := range b.r.Tuples {
+	for i, n := 0, b.r.N(); i < n; i++ {
 		if i == skip {
 			continue
 		}
 		count(b.evals)
-		if b.r.Schema.Dist(q, t) <= eps {
+		if _, within := kq.DistToLE(i, bound); within {
 			c++
 			if cap > 0 && c >= cap {
 				return c
@@ -106,18 +183,33 @@ func (b *Brute) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 	return c
 }
 
-// KNN implements Index.
+// KNN implements Index. Once the heap is full, its (distance, index)
+// bound doubles as an early-exit radius: a pair whose partial aggregate
+// exceeds the current k-th distance cannot enter the heap, so the scan
+// abandons it. The inclusive DistToLE test keeps exact ties, which the
+// heap then resolves by the index tie-break.
 func (b *Brute) KNN(q data.Tuple, k, skip int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
+	kq := b.kern.Bind(q)
+	defer b.ks.flush(kq)
 	h := newMaxHeap(k)
-	for i, t := range b.r.Tuples {
+	bound, leb := math.Inf(1), math.Inf(1)
+	for i, n := 0, b.r.N(); i < n; i++ {
 		if i == skip {
 			continue
 		}
 		count(b.evals)
-		h.offer(Neighbor{Idx: i, Dist: b.r.Schema.Dist(q, t)})
+		d, within := kq.DistToLE(i, leb)
+		if !within {
+			continue
+		}
+		h.offer(Neighbor{Idx: i, Dist: d})
+		if bd, full := h.bound(); full && bd != bound {
+			bound = bd
+			leb = b.kern.LEBound(bound)
+		}
 	}
 	return h.sorted()
 }

@@ -13,13 +13,22 @@ import (
 // the textual Restaurant data equally. Build is O(n log n) distance
 // computations; range and k-NN queries prune subtrees whose distance
 // interval cannot intersect the query ball.
+//
+// Queries run over the compiled distance kernel: the query binds once and
+// every node distance is a column read plus the text-distance caches. Node
+// distances are always computed in full — they feed the subtree pruning
+// bounds, so the ε early exit (which only answers "within ε?") cannot be
+// used here. Build-time distances go through the kernel too, which warms
+// the shared per-pair text cache before the first query arrives.
 type VPTree struct {
 	r     *data.Relation
+	kern  *data.Kernel
 	nodes []vpNode
 	root  int
 	// evals, when non-nil, counts query-time distance evaluations (see
 	// Counting); build-time distances are not counted.
 	evals *int64
+	ks    kernHooks
 }
 
 type vpNode struct {
@@ -34,7 +43,7 @@ type vpNode struct {
 
 // NewVPTree builds the tree over r; seed drives vantage-point selection.
 func NewVPTree(r *data.Relation, seed int64) *VPTree {
-	t := &VPTree{r: r, root: -1}
+	t := &VPTree{r: r, kern: data.CompileKernel(r), root: -1}
 	if r.N() == 0 {
 		return t
 	}
@@ -50,6 +59,9 @@ func NewVPTree(r *data.Relation, seed int64) *VPTree {
 
 // Rel returns the indexed relation.
 func (t *VPTree) Rel() *data.Relation { return t.r }
+
+// Kernel implements Kerneled.
+func (t *VPTree) Kernel() *data.Kernel { return t.kern }
 
 type distItem struct {
 	idx  int
@@ -74,7 +86,7 @@ func (t *VPTree) build(idx []int, rng *rand.Rand) int {
 
 	items := make([]distItem, len(rest))
 	for i, j := range rest {
-		items[i] = distItem{idx: j, dist: t.r.Schema.Dist(t.r.Tuples[vp], t.r.Tuples[j])}
+		items[i] = distItem{idx: j, dist: t.kern.Dist(vp, j)}
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].dist < items[j].dist })
 	mid := len(items) / 2
@@ -109,53 +121,78 @@ func (t *VPTree) build(idx []int, rng *rand.Rand) int {
 
 // Within implements Index.
 func (t *VPTree) Within(q data.Tuple, eps float64, skip int) []Neighbor {
-	var out []Neighbor
-	t.rangeSearch(t.root, q, eps, skip, func(n Neighbor) bool {
-		out = append(out, n)
-		return true
-	})
-	return out
+	return t.WithinAppend(nil, q, eps, skip)
+}
+
+// WithinAppend implements WithinAppender. The traversal is closure-free —
+// the result buffer threads through the recursion — so a caller-reused dst
+// keeps the whole query allocation-free.
+func (t *VPTree) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int) []Neighbor {
+	if t.root < 0 {
+		return dst
+	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
+	return t.rangeAppend(t.root, kq, eps, skip, dst)
 }
 
 // CountWithin implements Index.
 func (t *VPTree) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
-	c := 0
-	t.rangeSearch(t.root, q, eps, skip, func(Neighbor) bool {
-		c++
-		return cap <= 0 || c < cap
-	})
+	if t.root < 0 {
+		return 0
+	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
+	c, _ := t.rangeCount(t.root, kq, eps, skip, cap, 0)
 	return c
 }
 
-// rangeSearch visits every tuple within eps of q; emit returns false to
-// abort the traversal.
-func (t *VPTree) rangeSearch(id int, q data.Tuple, eps float64, skip int, emit func(Neighbor) bool) bool {
-	if id < 0 {
-		return true
-	}
+// rangeAppend appends every tuple within eps of the bound query to dst.
+func (t *VPTree) rangeAppend(id int, kq *data.KernelQuery, eps float64, skip int, dst []Neighbor) []Neighbor {
 	n := &t.nodes[id]
 	count(t.evals)
-	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
+	d := kq.DistTo(n.idx)
 	if d <= eps && n.idx != skip {
-		if !emit(Neighbor{Idx: n.idx, Dist: d}) {
-			return false
-		}
+		dst = append(dst, Neighbor{Idx: n.idx, Dist: d})
 	}
 	// Triangle inequality: any point p in the inside subtree has
 	// |d − Δ(vp,p)| ≤ Δ(q,p), with Δ(vp,p) ≤ maxInside; the inside subtree
 	// can contain matches only if d − eps ≤ maxInside. Symmetrically for
 	// the outside subtree with Δ(vp,p) ≥ minOutside.
 	if n.inside >= 0 && d-eps <= n.maxInside {
-		if !t.rangeSearch(n.inside, q, eps, skip, emit) {
-			return false
+		dst = t.rangeAppend(n.inside, kq, eps, skip, dst)
+	}
+	if n.outside >= 0 && d+eps >= n.minOutside {
+		dst = t.rangeAppend(n.outside, kq, eps, skip, dst)
+	}
+	return dst
+}
+
+// rangeCount counts tuples within eps of the bound query, aborting once the
+// running count c reaches cap (cap ≤ 0 disables the early exit); more=false
+// propagates the abort up the recursion.
+func (t *VPTree) rangeCount(id int, kq *data.KernelQuery, eps float64, skip, cap, c int) (int, bool) {
+	n := &t.nodes[id]
+	count(t.evals)
+	d := kq.DistTo(n.idx)
+	if d <= eps && n.idx != skip {
+		c++
+		if cap > 0 && c >= cap {
+			return c, false
+		}
+	}
+	more := true
+	if n.inside >= 0 && d-eps <= n.maxInside {
+		if c, more = t.rangeCount(n.inside, kq, eps, skip, cap, c); !more {
+			return c, false
 		}
 	}
 	if n.outside >= 0 && d+eps >= n.minOutside {
-		if !t.rangeSearch(n.outside, q, eps, skip, emit) {
-			return false
+		if c, more = t.rangeCount(n.outside, kq, eps, skip, cap, c); !more {
+			return c, false
 		}
 	}
-	return true
+	return c, true
 }
 
 // KNN implements Index.
@@ -163,18 +200,20 @@ func (t *VPTree) KNN(q data.Tuple, k, skip int) []Neighbor {
 	if k <= 0 || t.root < 0 {
 		return nil
 	}
+	kq := t.kern.Bind(q)
+	defer t.ks.flush(kq)
 	h := newMaxHeap(k)
-	t.knnSearch(t.root, q, skip, h)
+	t.knnSearch(t.root, kq, skip, h)
 	return h.sorted()
 }
 
-func (t *VPTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
+func (t *VPTree) knnSearch(id int, kq *data.KernelQuery, skip int, h *maxHeap) {
 	if id < 0 {
 		return
 	}
 	n := &t.nodes[id]
 	count(t.evals)
-	d := t.r.Schema.Dist(q, t.r.Tuples[n.idx])
+	d := kq.DistTo(n.idx)
 	if n.idx != skip {
 		h.offer(Neighbor{Idx: n.idx, Dist: d})
 	}
@@ -185,23 +224,23 @@ func (t *VPTree) knnSearch(id int, q data.Tuple, skip int, h *maxHeap) {
 	// Descend the more promising side first so the bound tightens early.
 	if d <= n.radius {
 		if n.inside >= 0 && d-bound <= n.maxInside {
-			t.knnSearch(n.inside, q, skip, h)
+			t.knnSearch(n.inside, kq, skip, h)
 		}
 		if bound, full = h.bound(); !full {
 			bound = math.Inf(1)
 		}
 		if n.outside >= 0 && d+bound >= n.minOutside {
-			t.knnSearch(n.outside, q, skip, h)
+			t.knnSearch(n.outside, kq, skip, h)
 		}
 	} else {
 		if n.outside >= 0 && d+bound >= n.minOutside {
-			t.knnSearch(n.outside, q, skip, h)
+			t.knnSearch(n.outside, kq, skip, h)
 		}
 		if bound, full = h.bound(); !full {
 			bound = math.Inf(1)
 		}
 		if n.inside >= 0 && d-bound <= n.maxInside {
-			t.knnSearch(n.inside, q, skip, h)
+			t.knnSearch(n.inside, kq, skip, h)
 		}
 	}
 }

@@ -74,6 +74,14 @@ type SearchStats struct {
 	// GridFallbacks counts grid queries degraded to a brute scan because
 	// the requested radius spanned more cells than a scan costs.
 	GridFallbacks int64 `json:"grid_fallbacks"`
+	// DistEarlyExits, TextCacheHits and TextCacheMisses refine DistEvals
+	// with the compiled kernel's view of how much each evaluation actually
+	// cost: pairs abandoned by the ε early exit before their last
+	// attribute, text metric evaluations answered from the pair cache or
+	// query memo, and text metric evaluations actually computed.
+	DistEarlyExits  int64 `json:"dist_early_exits"`
+	TextCacheHits   int64 `json:"text_cache_hits"`
+	TextCacheMisses int64 `json:"text_cache_misses"`
 }
 
 // Add folds o into s field by field. Shards merged this way must no longer
@@ -93,6 +101,9 @@ func (s *SearchStats) Add(o *SearchStats) {
 	s.RangeQueries += o.RangeQueries
 	s.DistEvals += o.DistEvals
 	s.GridFallbacks += o.GridFallbacks
+	s.DistEarlyExits += o.DistEarlyExits
+	s.TextCacheHits += o.TextCacheHits
+	s.TextCacheMisses += o.TextCacheMisses
 }
 
 // String renders the counters in the order a pruning-power reading wants:
@@ -101,10 +112,12 @@ func (s *SearchStats) String() string {
 	return fmt.Sprintf(
 		"nodes=%d lb_prunes=%d cand_prunes=%d memo_hits=%d ub_witnesses=%d best_updates=%d "+
 			"kappa_masks=%d kappa_prefiltered=%d budget_trips=%d candidates=%d "+
-			"knn_queries=%d range_queries=%d dist_evals=%d grid_fallbacks=%d",
+			"knn_queries=%d range_queries=%d dist_evals=%d grid_fallbacks=%d "+
+			"dist_early_exits=%d text_cache_hits=%d text_cache_misses=%d",
 		s.Nodes, s.LBPrunes, s.CandPrunes, s.MemoHits, s.UBWitnesses, s.BestUpdates,
 		s.KappaMasks, s.KappaPrefiltered, s.BudgetTrips, s.Candidates,
-		s.KNNQueries, s.RangeQueries, s.DistEvals, s.GridFallbacks)
+		s.KNNQueries, s.RangeQueries, s.DistEvals, s.GridFallbacks,
+		s.DistEarlyExits, s.TextCacheHits, s.TextCacheMisses)
 }
 
 // PhaseTimings breaks a SaveAll run into its pipeline phases. Phases not
