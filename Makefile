@@ -10,9 +10,9 @@ BENCHOUT ?= BENCH_5.json
 BENCHKEY ?= after
 BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke profile
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke chaos profile
 
-check: build vet race cover bench-check serve-smoke fuzz
+check: build vet race cover bench-check serve-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ bench-check:
 # drain (see serve_smoke_test.go).
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 .
+
+# Chaos suite: fault-injected restart loops, batcher panic recovery, and the
+# subprocess SIGKILL harness (kill mid-snapshot-write, restart, assert
+# recovery invariants) under -race, plus the durability-layer unit tests
+# (snapshot format, fault sites, robust client).
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' . ./internal/serve
+	$(GO) test -race -count=1 ./internal/snapshot ./internal/fault ./internal/serve/client
 
 # Each fuzz target needs its own invocation: go test allows one -fuzz
 # pattern per package run.

@@ -28,17 +28,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	disc "repro"
+	"repro/internal/obs"
+	"repro/internal/serve/client"
 )
 
 func main() {
@@ -57,6 +62,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while saving")
 		statsJSON = flag.String("stats-json", "", "write search counters and phase timings as JSON to this file (\"-\" = stderr)")
 		logLevel  = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level (debug|info|warn|error)")
+		remote    = flag.String("remote", "", "run the pipeline against a discserve instance at this base URL (e.g. http://127.0.0.1:8080); if the server is unreachable the run falls back to local execution")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -75,17 +81,45 @@ func main() {
 		defer cancel()
 	}
 
-	f, err := os.Open(*in)
+	raw, err := os.ReadFile(*in)
 	if err != nil {
 		fatal(err)
 	}
-	rel, err := disc.ReadCSV(f)
-	f.Close()
+	rel, err := disc.ReadCSV(bytes.NewReader(raw))
 	if err != nil {
 		fatal(err)
 	}
 	if err := disc.ValidateValues(rel); err != nil {
 		fatal(err)
+	}
+
+	if *remote != "" {
+		cstats := &obs.ClientStats{}
+		cl := client.New(client.Config{BaseURL: *remote, Stats: cstats})
+		p := client.Params{Eps: *eps, Eta: *eta, Kappa: *kappa, MaxNodes: *maxNodes, Seed: *seed}
+		repaired, rerr := runRemote(ctx, cl, filepath.Base(*in), string(raw), rel, p, *timeout, *report)
+		switch {
+		case rerr == nil:
+			if *out == "" {
+				if err := disc.WriteCSV(os.Stdout, repaired); err != nil {
+					fatal(err)
+				}
+			} else if err := writeFile(*out, repaired); err != nil {
+				fatal(err)
+			}
+			return
+		case errors.Is(rerr, client.ErrUnavailable):
+			// The server is unreachable, not wrong: the same pipeline runs
+			// locally instead, so a flaky serving tier degrades the run's
+			// latency, never its outcome.
+			cstats.Fallbacks.Add(1)
+			snap := cstats.Snapshot()
+			fmt.Fprintf(os.Stderr, "disccli: remote unavailable after %d request(s), %d retr(ies): %v\n",
+				snap.Requests, snap.Retries, rerr)
+			fmt.Fprintln(os.Stderr, "disccli: falling back to local execution")
+		default:
+			fatal(rerr)
+		}
 	}
 
 	cons := disc.Constraints{Eps: *eps, Eta: *eta}
@@ -184,7 +218,7 @@ func main() {
 		if err := disc.WriteCSV(os.Stdout, res.Repaired); err != nil {
 			fatal(err)
 		}
-	} else if err := writeFile(*out, res); err != nil {
+	} else if err := writeFile(*out, res.Repaired); err != nil {
 		fatal(err)
 	}
 
@@ -197,12 +231,12 @@ func main() {
 // writeFile writes the repaired relation to path, removing the partial
 // file when the write fails midway — a truncated CSV silently dropping
 // tuples is worse for downstream consumers than no file at all.
-func writeFile(path string, res *disc.SaveResult) error {
+func writeFile(path string, rel *disc.Relation) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := disc.WriteCSV(f, res.Repaired)
+	werr := disc.WriteCSV(f, rel)
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr

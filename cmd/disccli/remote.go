@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	disc "repro"
+	"repro/internal/serve/client"
+)
+
+// runRemote executes the detect-and-repair pipeline against a discserve
+// instance instead of locally: upload the CSV as a session, screen every
+// row against the server's cached index (member mode, so each row's stored
+// copy does not count itself as a neighbor), repair the outliers, and
+// splice the adjusted tuples back into the relation. The session is deleted
+// best-effort afterwards — the CLI is one-shot.
+//
+// Failures the client classifies as the server being unreachable surface as
+// client.ErrUnavailable, which the caller treats as "fall back to a local
+// run"; anything else (the server refusing the dataset, a tuple the schema
+// rejects) is definitive and aborts.
+func runRemote(ctx context.Context, cl *client.Client, name, csvText string, rel *disc.Relation, p client.Params, timeout time.Duration, report bool) (*disc.Relation, error) {
+	info, err := cl.CreateDatasetCSV(ctx, name, csvText, p)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		cl.Delete(dctx, info.ID)
+	}()
+	fmt.Fprintf(os.Stderr, "disccli: remote session %s (ε=%.4g η=%d, %d inliers, %d outliers)\n",
+		info.ID, info.Eps, info.Eta, info.Inliers, info.Outliers)
+
+	tuples := make([][]any, rel.N())
+	for i, t := range rel.Tuples {
+		tuples[i] = tupleToJSON(rel.Schema, t)
+	}
+	det, err := cl.Detect(ctx, info.ID, tuples, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(det.Results) != rel.N() {
+		return nil, fmt.Errorf("disccli: server screened %d tuples, sent %d", len(det.Results), rel.N())
+	}
+	var outIdx []int
+	for i, res := range det.Results {
+		if res.Outlier {
+			outIdx = append(outIdx, i)
+		}
+	}
+
+	repaired := disc.NewRelation(rel.Schema)
+	for _, t := range rel.Tuples {
+		repaired.Append(t)
+	}
+	saved, natural, exhausted := 0, 0, 0
+	if len(outIdx) > 0 {
+		outTuples := make([][]any, len(outIdx))
+		for i, idx := range outIdx {
+			outTuples[i] = tuples[idx]
+		}
+		rep, err := cl.Repair(ctx, info.ID, outTuples, int(timeout/time.Millisecond))
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Adjustments) != len(outIdx) {
+			return nil, fmt.Errorf("disccli: server repaired %d tuples, sent %d", len(rep.Adjustments), len(outIdx))
+		}
+		saved, natural, exhausted = rep.Saved, rep.Natural, rep.Exhausted
+		for i, adj := range rep.Adjustments {
+			row := outIdx[i]
+			if adj.Saved && adj.Tuple != nil {
+				t, err := jsonToTuple(rel.Schema, adj.Tuple)
+				if err != nil {
+					return nil, fmt.Errorf("disccli: row %d: server returned %w", row+1, err)
+				}
+				repaired.Tuples[row] = t
+			}
+			if report {
+				switch {
+				case adj.Saved && adj.Exhausted:
+					fmt.Fprintf(os.Stderr, "  row %d: adjusted attributes %v, cost %.4g (exhausted: best-so-far)\n",
+						row+1, adj.Adjusted, adj.Cost)
+				case adj.Saved:
+					fmt.Fprintf(os.Stderr, "  row %d: adjusted attributes %v, cost %.4g\n",
+						row+1, adj.Adjusted, adj.Cost)
+				case adj.Natural:
+					fmt.Fprintf(os.Stderr, "  row %d: natural outlier, left unchanged\n", row+1)
+				default:
+					fmt.Fprintf(os.Stderr, "  row %d: no adjustment found before the budget tripped\n", row+1)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "disccli: remote: %d tuples, %d outliers, %d saved, %d left as natural",
+		rel.N(), len(outIdx), saved, natural)
+	if exhausted > 0 {
+		fmt.Fprintf(os.Stderr, ", %d exhausted a budget", exhausted)
+	}
+	fmt.Fprintln(os.Stderr)
+	return repaired, nil
+}
+
+// tupleToJSON shapes one tuple for the wire (numbers for numeric
+// attributes, strings for text), matching the server's parse.
+func tupleToJSON(sch *disc.Schema, t disc.Tuple) []any {
+	out := make([]any, len(t))
+	for i := range t {
+		if sch.Attrs[i].Kind == disc.Text {
+			out[i] = t[i].Str
+		} else {
+			out[i] = t[i].Num
+		}
+	}
+	return out
+}
+
+// jsonToTuple is tupleToJSON's inverse for adjusted tuples coming back.
+func jsonToTuple(sch *disc.Schema, raw []any) (disc.Tuple, error) {
+	if len(raw) != sch.M() {
+		return nil, fmt.Errorf("tuple with %d values, schema has %d attributes", len(raw), sch.M())
+	}
+	t := make(disc.Tuple, len(raw))
+	for i, v := range raw {
+		if sch.Attrs[i].Kind == disc.Text {
+			sv, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("tuple with %T in text attribute %q", v, sch.Attrs[i].Name)
+			}
+			t[i] = disc.Str(sv)
+			continue
+		}
+		fv, ok := v.(float64)
+		if !ok || math.IsNaN(fv) || math.IsInf(fv, 0) {
+			return nil, fmt.Errorf("tuple with bad value in numeric attribute %q", sch.Attrs[i].Name)
+		}
+		t[i] = disc.Num(fv)
+	}
+	return t, nil
+}

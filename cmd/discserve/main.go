@@ -11,17 +11,28 @@
 //	GET    /v1/datasets            list sessions
 //	GET    /v1/datasets/{id}       session info (build timings, search counters)
 //	DELETE /v1/datasets/{id}       evict a session
-//	POST   /v1/datasets/{id}/detect  count ε-neighbors of query tuples
+//	POST   /v1/datasets/{id}/detect  count ε-neighbors of query tuples ("member": true
+//	                                 excludes each row's own stored copy from its count)
 //	POST   /v1/datasets/{id}/save    repair one tuple
 //	POST   /v1/datasets/{id}/repair  repair a batch of tuples
-//	GET    /healthz                liveness/readiness (503 while draining)
-//	GET    /varz                   counters: endpoints, registry, per-session stats
+//	GET    /livez                  liveness: 200 while the process serves HTTP at all
+//	GET    /readyz                 readiness: 503 during startup replay and drain
+//	GET    /healthz                legacy combined probe (503 while draining)
+//	GET    /varz                   counters: endpoints, registry, store, per-session stats
 //
 // Capacity is bounded everywhere: the session cache by count, bytes and
 // idle TTL (LRU eviction), each session's admission queue by -max-queue
 // (overflow answered 429 + Retry-After), and each save by a deadline
 // (client timeout_ms capped at -request-budget). SIGINT/SIGTERM drain
 // gracefully: admitted work finishes, new work is refused with 503.
+//
+// With -data-dir, sessions are durable: each build is snapshotted
+// (versioned, checksummed, written atomically) and a restart replays the
+// snapshots — detection skipped, only the in-memory indexes rebuilt —
+// quarantining corrupt files and rebuilding path-loaded sessions from
+// source. /readyz answers 503 until the replay completes. -fault installs
+// deterministic fault injection (errors, latency, panics at named sites)
+// for chaos testing; see docs/SERVING.md "Durability & recovery".
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -53,9 +65,19 @@ func main() {
 		requestBudget = flag.Duration("request-budget", 30*time.Second, "per-save deadline cap; client timeout_ms cannot exceed it")
 		maxUpload     = flag.Int64("max-upload", 64<<20, "max request body bytes, dataset uploads included")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "max time to finish admitted work on shutdown")
+		dataDir       = flag.String("data-dir", "", "directory for durable session snapshots; on restart sessions are recovered from it instead of rebuilt ('' = memory-only)")
+		faultSpec     = flag.String("fault", "", "fault-injection spec, site:mode[:arg][:prob],... (e.g. snapshot.write:sleep:2s); testing only")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		logLevel      = flag.String("log-level", "info", "structured log level on stderr (debug|info|warn|error)")
 	)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		if err := fault.Configure(*faultSpec, *faultSeed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "discserve: FAULT INJECTION ACTIVE: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -73,6 +95,7 @@ func main() {
 		Workers:       *workers,
 		RequestBudget: *requestBudget,
 		MaxBodyBytes:  *maxUpload,
+		DataDir:       *dataDir,
 		Logger:        log,
 	})
 
@@ -90,6 +113,13 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	// Replay snapshots with the listener already serving: /livez answers
+	// during the replay while /readyz stays 503 until Recover completes, so
+	// probes see "alive but not ready" instead of connection refused.
+	if err := srv.Recover(context.Background()); err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -150,6 +150,15 @@ func DetectWithIndex(ctx context.Context, rel *Relation, cons Constraints, idx N
 	return core.DetectContext(ctx, rel, cons, idx)
 }
 
+// RehydrateDetection reconstructs a Detection from persisted neighbor
+// counts and the resolved η, re-deriving the inlier/outlier split without
+// re-running the counting pass. It exists for durable session stores that
+// checkpoint Detection.Counts: on restart they restore the split from the
+// snapshot instead of paying detection again.
+func RehydrateDetection(counts []int, eta int) *Detection {
+	return core.RehydrateDetection(counts, eta)
+}
+
 // Save runs the full DISC pipeline: detect every violation of the distance
 // constraints and save each outlier by near-minimal value adjustment
 // (Algorithm 1 with the Proposition 3/5 bounds). The input is not

@@ -69,6 +69,25 @@ func (d *Detection) IsOutlier(i int) bool {
 	return d.Counts[i] < d.eta
 }
 
+// RehydrateDetection reconstructs a Detection from persisted neighbor
+// counts and the resolved η, re-deriving the inlier/outlier split without
+// touching the data. It is the restart path of a durable serving layer:
+// counts are the expensive part of DetectContext, so a snapshot that kept
+// them skips the counting pass entirely. Stats, Elapsed and IndexBuild stay
+// zero — no index traffic happened — which is exactly how callers tell a
+// rehydrated detection from a computed one.
+func RehydrateDetection(counts []int, eta int) *Detection {
+	det := &Detection{Counts: counts, eta: eta}
+	for i, c := range counts {
+		if c >= eta {
+			det.Inliers = append(det.Inliers, i)
+		} else {
+			det.Outliers = append(det.Outliers, i)
+		}
+	}
+	return det
+}
+
 // Detect splits rel under the constraints: tuples with ≥ η ε-neighbors
 // (self excluded) are inliers, the rest outliers. idx must index rel; pass
 // nil to build one automatically.

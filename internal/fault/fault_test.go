@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("active with no rules")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Inject(SnapshotWrite); err != nil {
+			t.Fatalf("disabled Inject returned %v", err)
+		}
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("snapshot.write:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(SnapshotWrite)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), SnapshotWrite) {
+		t.Fatalf("error %q does not name the site", err)
+	}
+	// Other sites are unaffected.
+	if err := Inject(SnapshotRead); err != nil {
+		t.Fatalf("unruled site injected %v", err)
+	}
+	if got := Fires(SnapshotWrite); got != 1 {
+		t.Fatalf("fires = %d, want 1", got)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	run := func(seed int64) []bool {
+		if err := Configure("index.build:error:0.5", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Inject(IndexBuild) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	var fired int
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestSleepMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("snapshot.write:sleep:30ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject(SnapshotWrite); err != nil {
+		t.Fatalf("sleep mode returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slept %v, want >= 30ms", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("batch.dispatch:panic", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Inject(BatchDispatch)
+}
+
+func TestHookCountsOnlyErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	n := 0
+	SetHook(SnapshotWrite, func() error {
+		n++
+		if n <= 2 {
+			return ErrInjected
+		}
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		err := Inject(SnapshotWrite)
+		if (i < 2) != (err != nil) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if got := Fires(SnapshotWrite); got != 2 {
+		t.Fatalf("fires = %d, want 2", got)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"nosite",
+		"a.b:explode",
+		"a.b:error:2",
+		"a.b:sleep",
+		"a.b:sleep:notadur",
+		"a.b:error:0.5:extra",
+	} {
+		if err := Configure(spec, 1); err == nil {
+			t.Errorf("Configure(%q) accepted", spec)
+		}
+	}
+	// A failed Configure must not leave half-installed rules active.
+	if err := Configure("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if Active() {
+		t.Fatal("active after empty spec")
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import "sync/atomic"
+
+// StoreStats counts what the durable session store does: snapshot writes
+// and loads, corruption rejections, and the sessions a restart brought back
+// without re-running detection. Like EndpointStats these sit on concurrent
+// paths (handler goroutines persist, the recovery loop loads), so they are
+// atomics rather than per-worker shards.
+type StoreStats struct {
+	// SnapshotWrites counts snapshot files durably written (temp → fsync →
+	// rename completed); SnapshotWriteErrors counts attempts that failed
+	// before the rename, leaving the previous snapshot (if any) intact.
+	SnapshotWrites      atomic.Int64
+	SnapshotWriteErrors atomic.Int64
+	// SnapshotLoads counts snapshots read and checksum-verified during
+	// recovery.
+	SnapshotLoads atomic.Int64
+	// SnapshotCorrupt counts snapshots rejected by the checksum or version
+	// gate and moved to the quarantine directory.
+	SnapshotCorrupt atomic.Int64
+	// RecoveredSessions counts sessions rehydrated from snapshots at
+	// startup — relation parse and detection skipped, only the in-memory
+	// indexes rebuilt. RebuiltSessions counts sessions whose snapshot was
+	// unusable but whose source was still reachable, so they went through
+	// a full build instead of being lost.
+	RecoveredSessions atomic.Int64
+	RebuiltSessions   atomic.Int64
+}
+
+// StoreSnapshot is a point-in-time copy of StoreStats for /varz.
+type StoreSnapshot struct {
+	SnapshotWrites      int64 `json:"snapshot_writes"`
+	SnapshotWriteErrors int64 `json:"snapshot_write_errors"`
+	SnapshotLoads       int64 `json:"snapshot_loads"`
+	SnapshotCorrupt     int64 `json:"snapshot_corrupt"`
+	RecoveredSessions   int64 `json:"recovered_sessions"`
+	RebuiltSessions     int64 `json:"rebuilt_sessions"`
+}
+
+// Snapshot copies the counters (individually atomic, not mutually
+// consistent — fine for monitoring).
+func (s *StoreStats) Snapshot() StoreSnapshot {
+	return StoreSnapshot{
+		SnapshotWrites:      s.SnapshotWrites.Load(),
+		SnapshotWriteErrors: s.SnapshotWriteErrors.Load(),
+		SnapshotLoads:       s.SnapshotLoads.Load(),
+		SnapshotCorrupt:     s.SnapshotCorrupt.Load(),
+		RecoveredSessions:   s.RecoveredSessions.Load(),
+		RebuiltSessions:     s.RebuiltSessions.Load(),
+	}
+}
+
+// ClientStats counts what the robust HTTP client's retry and circuit-breaker
+// machinery did across its requests.
+type ClientStats struct {
+	// Requests counts logical requests (one per API call, however many
+	// attempts each took).
+	Requests atomic.Int64
+	// Retries counts re-attempts after a retryable failure (network error,
+	// 429, 5xx); Requests with zero Retries went through first try.
+	Retries atomic.Int64
+	// BreakerTrips counts transitions of the circuit breaker from closed
+	// to open; BreakerOpen counts requests refused immediately because the
+	// breaker was open.
+	BreakerTrips atomic.Int64
+	BreakerOpen  atomic.Int64
+	// Fallbacks counts operations the caller degraded to local execution
+	// after the client reported the remote unavailable.
+	Fallbacks atomic.Int64
+}
+
+// ClientSnapshot is a point-in-time copy of ClientStats.
+type ClientSnapshot struct {
+	Requests     int64 `json:"requests"`
+	Retries      int64 `json:"retries"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	BreakerOpen  int64 `json:"breaker_open"`
+	Fallbacks    int64 `json:"fallbacks"`
+}
+
+// Snapshot copies the counters.
+func (c *ClientStats) Snapshot() ClientSnapshot {
+	return ClientSnapshot{
+		Requests:     c.Requests.Load(),
+		Retries:      c.Retries.Load(),
+		BreakerTrips: c.BreakerTrips.Load(),
+		BreakerOpen:  c.BreakerOpen.Load(),
+		Fallbacks:    c.Fallbacks.Load(),
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	disc "repro"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -203,6 +204,12 @@ func (b *batcher) dispatch(batch []*saveReq) {
 			r.es.Expired.Add(1)
 			r.res <- saveRes{err: fmt.Errorf("serve: request expired after %s in queue: %w",
 				time.Since(r.enq).Round(time.Millisecond), err)}
+			return nil
+		}
+		// Inside the worker func so an injected panic exercises the pool's
+		// recover path, answering the caller like any other save panic.
+		if err := fault.Inject(fault.BatchDispatch); err != nil {
+			r.res <- saveRes{err: fmt.Errorf("serve: save failed: %w", err)}
 			return nil
 		}
 		adj := b.session.Saver.SaveOne(r.ctx, r.tuple)

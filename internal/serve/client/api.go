@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+
+	"repro/internal/serve"
+)
+
+// Params mirror the server's build parameters for dataset creation.
+type Params struct {
+	Eps      float64
+	Eta      int
+	Kappa    int
+	MaxNodes int
+	Seed     int64
+}
+
+// createRequest mirrors the server's dataset-creation body (CSV source).
+type createRequest struct {
+	Name     string  `json:"name,omitempty"`
+	CSV      string  `json:"csv"`
+	Eps      float64 `json:"eps,omitempty"`
+	Eta      int     `json:"eta,omitempty"`
+	Kappa    int     `json:"kappa,omitempty"`
+	MaxNodes int     `json:"max_nodes,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+// DetectResult is one tuple's screening answer.
+type DetectResult struct {
+	Neighbors int  `json:"neighbors"`
+	Outlier   bool `json:"outlier"`
+}
+
+// DetectResponse is the /detect answer: the session's resolved constraints
+// and one result per query tuple.
+type DetectResponse struct {
+	Eps     float64        `json:"eps"`
+	Eta     int            `json:"eta"`
+	Results []DetectResult `json:"results"`
+}
+
+// Adjustment is one repaired tuple as the server reports it.
+type Adjustment struct {
+	Saved     bool     `json:"saved"`
+	Natural   bool     `json:"natural"`
+	Exhausted bool     `json:"exhausted"`
+	Cost      float64  `json:"cost"`
+	Tuple     []any    `json:"tuple,omitempty"`
+	Adjusted  []string `json:"adjusted,omitempty"`
+	Nodes     int      `json:"nodes"`
+}
+
+// RepairResponse is the /repair answer.
+type RepairResponse struct {
+	Adjustments []Adjustment `json:"adjustments"`
+	Saved       int          `json:"saved"`
+	Natural     int          `json:"natural"`
+	Exhausted   int          `json:"exhausted"`
+}
+
+type detectRequest struct {
+	Tuples [][]any `json:"tuples"`
+	Member bool    `json:"member,omitempty"`
+}
+
+type repairRequest struct {
+	Tuples    [][]any `json:"tuples"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// CreateDatasetCSV uploads an inline CSV and returns the built session.
+func (c *Client) CreateDatasetCSV(ctx context.Context, name, csv string, p Params) (*serve.SessionInfo, error) {
+	var info serve.SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/datasets", createRequest{
+		Name: name, CSV: csv,
+		Eps: p.Eps, Eta: p.Eta, Kappa: p.Kappa, MaxNodes: p.MaxNodes, Seed: p.Seed,
+	}, &info)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Detect screens tuples against the session's cached index. member declares
+// the tuples to be rows of the session's own dataset, excluding each one's
+// stored copy from its neighbor count.
+func (c *Client) Detect(ctx context.Context, id string, tuples [][]any, member bool) (*DetectResponse, error) {
+	var resp DetectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/detect",
+		detectRequest{Tuples: tuples, Member: member}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Repair saves a batch of outlier tuples against the session.
+func (c *Client) Repair(ctx context.Context, id string, tuples [][]any, timeoutMS int) (*RepairResponse, error) {
+	var resp RepairResponse
+	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/repair",
+		repairRequest{Tuples: tuples, TimeoutMS: timeoutMS}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete removes the session.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/datasets/"+url.PathEscape(id), nil, nil)
+}
+
+// Ready asks /readyz whether the server should receive traffic. A 503
+// (recovering or draining) surfaces as an *APIError.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}

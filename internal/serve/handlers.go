@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -45,6 +44,11 @@ type Config struct {
 	RequestBudget time.Duration
 	// MaxBodyBytes caps request bodies, uploads included (default 64 MiB).
 	MaxBodyBytes int64
+	// DataDir, when set, makes sessions durable: each build is snapshotted
+	// under this directory and a restart replays the snapshots (call
+	// Server.Recover) instead of rebuilding from scratch. Empty keeps the
+	// registry memory-only.
+	DataDir string
 	// Logger receives structured request and lifecycle logs (nil = silent).
 	Logger *slog.Logger
 }
@@ -85,7 +89,11 @@ type Server struct {
 	start   time.Time
 
 	draining atomic.Bool
-	panics   atomic.Int64
+	// ready gates /readyz: false while a data-dir server has not finished
+	// its startup snapshot replay (Recover), and false again once a drain
+	// begins, so rolling deploys shift traffic before the listener dies.
+	ready  atomic.Bool
+	panics atomic.Int64
 
 	// endpoints maps the API surface to its admission counters.
 	endpoints map[string]*obs.EndpointStats
@@ -113,9 +121,28 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/datasets/{id}/save", s.handleSave)
 	mux.HandleFunc("POST /v1/datasets/{id}/repair", s.handleRepair)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	s.handler = s.wrap(mux)
+	// Without a data dir there is no snapshot replay to wait for; with one,
+	// readiness arrives when Recover completes.
+	s.ready.Store(cfg.DataDir == "")
 	return s
+}
+
+// Recover replays the data directory into the registry (sessions rehydrate
+// from snapshots; corrupt ones are quarantined and rebuilt from source) and
+// then marks the server ready. It must run before traffic is expected —
+// /readyz answers 503 until it completes. Without a DataDir it is a no-op.
+// The error covers the data directory itself (unreadable, uncreatable, as
+// reported at New time); individual bad snapshots never fail recovery.
+func (s *Server) Recover(ctx context.Context) error {
+	defer s.ready.Store(true)
+	if s.reg.storeErr != nil {
+		return s.reg.storeErr
+	}
+	return s.reg.Recover(ctx)
 }
 
 // Handler returns the middleware-wrapped API.
@@ -132,6 +159,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.ready.Store(false)
 	s.log.Info("serve: draining", "sessions", len(s.reg.List()))
 	done := make(chan struct{})
 	go func() {
@@ -189,6 +217,12 @@ type createRequest struct {
 
 type detectRequest struct {
 	Tuples [][]any `json:"tuples"`
+	// Member declares the query tuples to be rows of the session's dataset
+	// (a remote client re-screening its own data): each tuple's stored copy
+	// is excluded from its neighbor count, matching detection semantics.
+	// Without it a member tuple counts itself and can pass the η threshold
+	// spuriously.
+	Member bool `json:"member"`
 }
 
 type detectResponse struct {
@@ -256,8 +290,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if k := q.Get("kappa"); k != "" {
 			p.Kappa, _ = strconv.Atoi(k)
 		}
-		rel, rerr := disc.ReadCSV(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+		rel, rerr := disc.ReadCSV(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if rerr != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(rerr, &mbe) {
+				s.writeErr(w, r, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+				return
+			}
 			s.writeErr(w, r, http.StatusBadRequest, rerr)
 			return
 		}
@@ -268,8 +308,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		sess, err = s.reg.Upload(r.Context(), name, rel, p)
 	} else {
 		var req createRequest
-		if derr := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); derr != nil {
-			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", derr))
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		sources := 0
@@ -371,8 +410,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req detectRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Tuples) == 0 {
@@ -393,8 +431,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// cap at η: the split only needs "≥ η or not", so the count stops
-		// early exactly like the detection pass would.
-		n := view.CountWithin(t, sess.Cons.Eps, -1, sess.Cons.Eta)
+		// early exactly like the detection pass would. Member tuples match
+		// their own stored copy, so the cap grows by one and the self-match
+		// is subtracted back out.
+		capN := sess.Cons.Eta
+		if req.Member {
+			capN++
+		}
+		n := view.CountWithin(t, sess.Cons.Eps, -1, capN)
+		if req.Member && n > 0 {
+			n--
+		}
 		resp.Results[i] = detectResult{Neighbors: n, Outlier: n < sess.Cons.Eta}
 	}
 	var st obs.SearchStats
@@ -419,8 +466,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req saveRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	t, err := parseTuple(sess.Rel.Schema, req.Tuple)
@@ -464,8 +510,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req repairRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Tuples) == 0 {
@@ -516,6 +561,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is the legacy combined probe, kept for existing monitors;
+// /livez and /readyz are the split it predates.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
@@ -527,6 +574,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   status,
 		"sessions": count,
 		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleLivez answers 200 whenever the process can serve HTTP at all — a
+// restart fixes nothing a liveness probe can see here, so it never goes
+// unhealthy short of the process dying.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz answers whether the replica should receive traffic: 503
+// while the startup snapshot replay is still running and again once a drain
+// has begun, 200 in between.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "recovering", http.StatusServiceUnavailable
+	}
+	count, _, _, _ := s.reg.Stats()
+	s.writeJSON(w, code, map[string]any{
+		"status":   status,
+		"sessions": count,
 	})
 }
 
@@ -544,8 +619,9 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	for i, sess := range sessions {
 		infos[i] = sess.Info()
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	vars := map[string]any{
 		"uptime_s":         time.Since(s.start).Seconds(),
+		"ready":            s.ready.Load(),
 		"draining":         s.draining.Load(),
 		"panics_recovered": s.panics.Load(),
 		"registry": map[string]any{
@@ -558,10 +634,44 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		},
 		"endpoints": endpoints,
 		"sessions":  infos,
-	})
+	}
+	if st := s.reg.store; st != nil {
+		vars["store"] = map[string]any{
+			"data_dir": st.Dir(),
+			"stats":    st.Stats(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, vars)
 }
 
 // --- plumbing ---
+
+// decodeJSON reads one JSON request body into v with the full hardening
+// set: the body is capped at MaxBodyBytes (413, not a mid-stream decode
+// error), unknown fields are rejected (a typoed "kapa" should fail loudly,
+// not silently use the default), and trailing garbage after the value is a
+// 400. It writes the error response itself and reports whether the handler
+// should continue.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil && dec.More() {
+		err = errors.New("trailing data after JSON value")
+	}
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.writeErr(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return false
+	}
+	s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: decoding request: %w", err))
+	return false
+}
 
 // requestCtx derives the per-request save deadline: the client's timeout_ms
 // capped by the server's RequestBudget, on top of the connection context.

@@ -62,10 +62,16 @@ type Session struct {
 	// spec); Key is the dedup key for path-loaded sessions ("" for
 	// uploads, which are never deduplicated).
 	Name, Key string
-	Rel       *disc.Relation
-	Cons      disc.Constraints
-	Kappa     int
-	Det       *disc.Detection
+	// Source is the server-side dataset path for path-loaded sessions (""
+	// for uploads); Params are the requested build parameters. Both go into
+	// the durable snapshot so a corrupt payload can still be rebuilt from
+	// source under identical settings.
+	Source string
+	Params BuildParams
+	Rel    *disc.Relation
+	Cons   disc.Constraints
+	Kappa  int
+	Det    *disc.Detection
 	// RelIdx indexes the full relation (detection semantics: |r_ε(t)| is
 	// counted over the whole dataset); the saver holds its own index over
 	// the inlier subset.
@@ -76,13 +82,21 @@ type Session struct {
 	// index structures) for the registry's byte bound.
 	Bytes int64
 	// Timings records the one-off build phases, in the same shape SaveAll
-	// reports.
-	Timings obs.PhaseTimings
+	// reports. On a recovered session Detect and Validate are zero — the
+	// snapshot skipped both — and Recovered is set.
+	Timings   obs.PhaseTimings
+	Recovered bool
 
 	batcher *batcher
 
 	mu       sync.Mutex
 	lastUsed time.Time
+	// persisted marks the session's snapshot as durably on disk; a session
+	// that failed to persist (transient IO error) stays dirty and is retried
+	// at drain time. unsnapshottable marks sessions that can never persist
+	// (custom text metric) so the drain does not retry them forever.
+	persisted       bool
+	unsnapshottable bool
 	// stats accumulates the index and search traffic of every request
 	// served against the cached state; indexBuilds counts build events and
 	// never moves after construction — the pair is the warm-path proof
@@ -127,6 +141,7 @@ type SessionInfo struct {
 	Detects     int64            `json:"detects"`
 	Batches     int64            `json:"batches"`
 	QueueDepth  int              `json:"queue_depth"`
+	Recovered   bool             `json:"recovered"`
 	CreatedAt   time.Time        `json:"created_at"`
 	LastUsedAt  time.Time        `json:"last_used_at"`
 	Stats       obs.SearchStats  `json:"stats"`
@@ -147,6 +162,7 @@ func (s *Session) Info() SessionInfo {
 		Saves:       s.saves, Detects: s.detects,
 		Batches:    s.batcher.batches.Load(),
 		QueueDepth: len(s.batcher.queue),
+		Recovered:  s.Recovered,
 		CreatedAt:  s.Created, LastUsedAt: s.lastUsed,
 		Stats: s.stats, Timings: s.Timings,
 	}
@@ -183,7 +199,7 @@ func estimateBytes(rel *disc.Relation) int64 {
 // buildSession runs the one-off pipeline: validate, determine parameters if
 // unset, build the full-relation index, detect, and prepare the saver over
 // the inliers. Everything a warm request touches is constructed here.
-func buildSession(ctx context.Context, id, name, key string, rel *disc.Relation, p BuildParams, cfg Config, log *slog.Logger) (*Session, error) {
+func buildSession(ctx context.Context, id, name, key, source string, rel *disc.Relation, p BuildParams, cfg Config, log *slog.Logger) (*Session, error) {
 	start := time.Now()
 	if rel.N() == 0 {
 		return nil, fmt.Errorf("serve: dataset %q is empty", name)
@@ -229,6 +245,7 @@ func buildSession(ctx context.Context, id, name, key string, rel *disc.Relation,
 
 	s := &Session{
 		ID: id, Name: name, Key: key,
+		Source: source, Params: p,
 		Rel: rel, Cons: cons, Kappa: p.Kappa,
 		Det: det, RelIdx: relIdx, Saver: saver,
 		Created: time.Now(), Bytes: estimateBytes(rel),
@@ -262,6 +279,11 @@ func buildSession(ctx context.Context, id, name, key string, rel *disc.Relation,
 type Registry struct {
 	cfg Config
 	log *slog.Logger
+	// store is the durable side (nil without a data dir); storeErr records
+	// a failed store init, surfaced by Server.Recover so New keeps its
+	// error-free signature.
+	store    *Store
+	storeErr error
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -298,6 +320,9 @@ func NewRegistry(cfg Config) *Registry {
 		sessions: map[string]*Session{},
 		byKey:    map[string]*Session{},
 		inflight: map[string]*inflightBuild{},
+	}
+	if cfg.DataDir != "" {
+		r.store, r.storeErr = newStore(cfg.DataDir, cfg.Logger)
 	}
 	if cfg.TTL > 0 {
 		r.janitorStop = make(chan struct{})
@@ -346,6 +371,9 @@ func (r *Registry) Sweep(now time.Time) {
 	r.mu.Unlock()
 	for _, s := range drop {
 		r.log.Info("serve: session expired", "id", s.ID, "name", s.Name, "ttl", r.cfg.TTL)
+		if r.store != nil {
+			r.store.remove(s.ID)
+		}
 		go s.batcher.close()
 	}
 }
@@ -357,7 +385,7 @@ func (r *Registry) Upload(ctx context.Context, name string, rel *disc.Relation, 
 	if testBuildHook != nil {
 		testBuildHook()
 	}
-	s, err := buildSession(ctx, newID(), name, "", rel, p, r.cfg, r.log)
+	s, err := buildSession(ctx, newID(), name, "", "", rel, p, r.cfg, r.log)
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +419,7 @@ func (r *Registry) OpenPath(ctx context.Context, path string, p BuildParams) (*S
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
-	s, err := r.loadAndBuild(ctx, path, key, p)
+	s, err := r.buildFromPath(ctx, newID(), path, key, p)
 	if err == nil {
 		s, err = r.register(s)
 	}
@@ -403,10 +431,12 @@ func (r *Registry) OpenPath(ctx context.Context, path string, p BuildParams) (*S
 	return s, err
 }
 
-// loadAndBuild reads the dataset file (CSV, or a dataset JSON written by
+// buildFromPath reads the dataset file (CSV, or a dataset JSON written by
 // WriteDatasetJSON, which carries its own (ε, η) defaults) and builds the
-// session.
-func (r *Registry) loadAndBuild(ctx context.Context, path, key string, p BuildParams) (*Session, error) {
+// session under the given id. Recovery reuses it to rebuild a session whose
+// snapshot was corrupt, keeping the original id so clients' handles stay
+// valid.
+func (r *Registry) buildFromPath(ctx context.Context, id, path, key string, p BuildParams) (*Session, error) {
 	if testBuildHook != nil {
 		testBuildHook()
 	}
@@ -434,7 +464,7 @@ func (r *Registry) loadAndBuild(ctx context.Context, path, key string, p BuildPa
 			return nil, fmt.Errorf("serve: reading %s: %w", path, err)
 		}
 	}
-	return buildSession(ctx, newID(), path, key, rel, p, r.cfg, r.log)
+	return buildSession(ctx, id, path, key, path, rel, p, r.cfg, r.log)
 }
 
 // register installs a built session and enforces the count/byte bounds,
@@ -465,8 +495,12 @@ func (r *Registry) register(s *Session) (*Session, error) {
 	for _, old := range drop {
 		r.log.Info("serve: session evicted", "id", old.ID, "name", old.Name,
 			"bytes", old.Bytes, "for", s.ID)
+		if r.store != nil {
+			r.store.remove(old.ID)
+		}
 		go old.batcher.close()
 	}
+	r.persist(s)
 	return s, nil
 }
 
@@ -533,6 +567,9 @@ func (r *Registry) Delete(id string) bool {
 	}
 	r.mu.Unlock()
 	if ok {
+		if r.store != nil {
+			r.store.remove(id)
+		}
 		go s.batcher.close()
 	}
 	return ok
@@ -578,6 +615,12 @@ func (r *Registry) Close() {
 	if r.janitorStop != nil {
 		close(r.janitorStop)
 		<-r.janitorDone
+	}
+	// The drain is the last chance to persist sessions whose snapshot write
+	// failed earlier (transient IO, injected fault): retry them now so a
+	// clean shutdown loses nothing a restart could have recovered.
+	for _, s := range all {
+		r.persist(s)
 	}
 	for _, s := range all {
 		s.batcher.close()

@@ -1,0 +1,329 @@
+package disc_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	disc "repro"
+)
+
+// discserveProc is one running discserve child under test.
+type discserveProc struct {
+	cmd     *exec.Cmd
+	base    string
+	waitErr chan error
+}
+
+// startDiscserve launches the binary and waits for the address announcement,
+// skipping earlier stderr lines (the fault-injection banner, log records).
+func startDiscserve(t *testing.T, bin string, args ...string) *discserveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting discserve: %v", err)
+	}
+	p := &discserveProc{cmd: cmd, waitErr: make(chan error, 1)}
+	go func() { p.waitErr <- cmd.Wait() }()
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	deadline := time.After(30 * time.Second)
+	const prefix = "discserve: listening on "
+	for {
+		select {
+		case line, open := <-lines:
+			if !open {
+				t.Fatal("discserve stderr closed before the address announcement")
+			}
+			if strings.HasPrefix(line, prefix) {
+				p.base = "http://" + strings.TrimPrefix(line, prefix)
+				// Keep draining stderr so the child never blocks on a full pipe.
+				go func() {
+					for range lines {
+					}
+				}()
+				return p
+			}
+		case err := <-p.waitErr:
+			t.Fatalf("discserve exited before listening: %v", err)
+		case <-deadline:
+			t.Fatal("discserve never announced its address")
+		}
+	}
+}
+
+// waitReady polls /readyz until it answers 200.
+func (p *discserveProc) waitReady(t *testing.T) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(p.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("discserve never became ready")
+}
+
+func chaosCSV(t *testing.T) string {
+	t.Helper()
+	rel := disc.NewRelation(disc.NewNumericSchema("x", "y"))
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			rel.Append(disc.Tuple{disc.Num(float64(i) * 0.4), disc.Num(float64(j) * 0.4)})
+		}
+	}
+	var buf bytes.Buffer
+	if err := disc.WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postJSONTo(t *testing.T, base, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+// TestServeChaosKillRestartRecovers is the crash-safety acceptance: build a
+// session, SIGKILL the server (no drain, no warning), restart over the same
+// data dir, and the session is back — warm, same id, no re-detection — and
+// serving saves.
+func TestServeChaosKillRestartRecovers(t *testing.T) {
+	discserve := buildTool(t, "discserve")
+	dataDir := t.TempDir()
+
+	p1 := startDiscserve(t, discserve, "-data-dir", dataDir, "-log-level", "error")
+	p1.waitReady(t)
+	resp, body := postJSONTo(t, p1.base, "/v1/datasets", map[string]any{
+		"name": "chaos", "csv": chaosCSV(t), "eps": 1.0, "eta": 3, "kappa": 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d, body %s", resp.StatusCode, body)
+	}
+	var session struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &session); err != nil {
+		t.Fatalf("decode session: %v\n%s", err, body)
+	}
+
+	// SIGKILL: no drain, no deferred persistence — only what the durable
+	// store already published survives.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p1.waitErr
+
+	p2 := startDiscserve(t, discserve, "-data-dir", dataDir, "-log-level", "error")
+	p2.waitReady(t)
+	client := &http.Client{Timeout: 30 * time.Second}
+	gresp, err := client.Get(p2.base + "/v1/datasets/" + session.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbody, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("session %s not recovered after SIGKILL: status %d, body %s",
+			session.ID, gresp.StatusCode, gbody)
+	}
+	var info struct {
+		Recovered   bool  `json:"recovered"`
+		IndexBuilds int64 `json:"index_builds"`
+		Timings     struct {
+			DetectS float64 `json:"detect_s"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(gbody, &info); err != nil {
+		t.Fatalf("decode info: %v\n%s", err, gbody)
+	}
+	if !info.Recovered || info.IndexBuilds != 2 || info.Timings.DetectS != 0 {
+		t.Fatalf("recovered session = %s, want recovered=true index_builds=2 detect_s=0", gbody)
+	}
+	resp, body = postJSONTo(t, p2.base, "/v1/datasets/"+session.ID+"/save",
+		map[string]any{"tuple": []float64{25, 25}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("save on recovered session: status %d, body %s", resp.StatusCode, body)
+	}
+	var adj struct {
+		Saved bool `json:"saved"`
+	}
+	if err := json.Unmarshal(body, &adj); err != nil {
+		t.Fatal(err)
+	}
+	if !adj.Saved {
+		t.Fatalf("outlier not saved after recovery: %s", body)
+	}
+
+	// The store counters confirm the path taken: one load, one recovery.
+	var varz struct {
+		Store struct {
+			Stats struct {
+				SnapshotLoads     int64 `json:"snapshot_loads"`
+				RecoveredSessions int64 `json:"recovered_sessions"`
+			} `json:"stats"`
+		} `json:"store"`
+	}
+	vresp, err := client.Get(p2.base + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vbody, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if err := json.Unmarshal(vbody, &varz); err != nil {
+		t.Fatal(err)
+	}
+	if varz.Store.Stats.SnapshotLoads != 1 || varz.Store.Stats.RecoveredSessions != 1 {
+		t.Errorf("store stats = %+v, want 1 load / 1 recovered", varz.Store.Stats)
+	}
+}
+
+// TestServeChaosKillDuringSnapshotWrite kills the server inside the
+// snapshot write — a fault-injected 2s stall between the temp-file fsync and
+// the rename — and asserts the torn write is invisible after restart: the
+// temp file is cleaned, no session resurrects from it, and the server comes
+// up healthy.
+func TestServeChaosKillDuringSnapshotWrite(t *testing.T) {
+	discserve := buildTool(t, "discserve")
+	dataDir := t.TempDir()
+
+	p1 := startDiscserve(t, discserve,
+		"-data-dir", dataDir,
+		"-fault", "snapshot.write:sleep:2s",
+		"-log-level", "error",
+	)
+	p1.waitReady(t)
+
+	// The upload blocks inside the stalled snapshot write; run it async —
+	// ignoring its result, since the kill below rips the connection out from
+	// under it — and watch the data dir for the temp file instead.
+	uploadBody, err := json.Marshal(map[string]any{
+		"name": "torn", "csv": chaosCSV(t), "eps": 1.0, "eta": 3, "kappa": 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Post(p1.base+"/v1/datasets", "application/json", bytes.NewReader(uploadBody))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	var sawTemp bool
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err := os.ReadDir(dataDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				sawTemp = true
+			}
+		}
+		if sawTemp {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawTemp {
+		t.Fatal("no in-flight temp snapshot appeared; the kill window never opened")
+	}
+	// Kill inside the write window: the temp file exists, the rename that
+	// would publish it has not happened.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p1.waitErr
+
+	p2 := startDiscserve(t, discserve, "-data-dir", dataDir, "-log-level", "error")
+	p2.waitReady(t)
+	// The torn write is gone and nothing was published from it.
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("torn temp file %s survived the restart", e.Name())
+		}
+		if filepath.Ext(e.Name()) == ".snap" {
+			t.Errorf("unexpected published snapshot %s from a torn write", e.Name())
+		}
+	}
+	var list struct {
+		Sessions []json.RawMessage `json:"sessions"`
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	lresp, err := client.Get(p2.base + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbody, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if err := json.Unmarshal(lbody, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 0 {
+		t.Errorf("%d sessions resurrected from a torn write: %s", len(list.Sessions), lbody)
+	}
+	// The restarted server is fully functional.
+	resp, body := postJSONTo(t, p2.base, "/v1/datasets", map[string]any{
+		"name": "fresh", "csv": chaosCSV(t), "eps": 1.0, "eta": 3, "kappa": 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload after torn-write restart: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// SIGTERM drains cleanly even after all that.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-p2.waitErr:
+		if err != nil {
+			t.Fatalf("discserve exited nonzero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("discserve did not exit after SIGTERM")
+	}
+}
