@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_5.json
+BENCHOUT ?= BENCH_7.json
 BENCHKEY ?= after
-BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke chaos profile
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke chaos profile
 
-check: build vet race cover bench-check serve-smoke chaos fuzz
+check: build vet race cover bench-check serve-smoke mutate-smoke chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . ./internal/neighbors > .bench.out.tmp
+	$(GO) test -run '^$$' -bench '$(BENCHPAT)' -benchmem . ./internal/neighbors ./internal/serve > .bench.out.tmp
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) -key $(BENCHKEY) < .bench.out.tmp
 	rm -f .bench.out.tmp
 
@@ -57,6 +57,13 @@ bench-check:
 # drain (see serve_smoke_test.go).
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 .
+
+# Scripted mutable-session round-trip: build discserve, drive a real
+# listener through upload -> 40 single-tuple inserts (forcing a mid-stream
+# delta merge) -> detect -> update -> delete -> save -> SIGTERM drain
+# (see mutate_smoke_test.go).
+mutate-smoke:
+	$(GO) test -run TestMutateSmoke -count=1 .
 
 # Chaos suite: fault-injected restart loops, batcher panic recovery, and the
 # subprocess SIGKILL harness (kill mid-snapshot-write, restart, assert

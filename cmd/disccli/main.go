@@ -48,21 +48,22 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input CSV file (required)")
-		out       = flag.String("out", "", "output CSV file (default stdout)")
-		eps       = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
-		eta       = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
-		kappa     = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
-		seed      = flag.Int64("seed", 1, "seed for sampling during parameter determination")
-		report    = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the partial repair is written")
-		deadline  = flag.Duration("deadline", 0, "wall-clock budget per outlier (0 = none); tripped saves keep their best-so-far adjustment")
-		maxNodes  = flag.Int("max-nodes", 0, "search-node budget per outlier (0 = unlimited); tripped saves keep their best-so-far adjustment")
-		workers   = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
-		progress  = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while saving")
-		statsJSON = flag.String("stats-json", "", "write search counters and phase timings as JSON to this file (\"-\" = stderr)")
-		logLevel  = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level (debug|info|warn|error)")
-		remote    = flag.String("remote", "", "run the pipeline against a discserve instance at this base URL (e.g. http://127.0.0.1:8080); if the server is unreachable the run falls back to local execution")
+		in           = flag.String("in", "", "input CSV file (required)")
+		out          = flag.String("out", "", "output CSV file (default stdout)")
+		eps          = flag.Float64("eps", 0, "distance threshold ε (0 = determine automatically)")
+		eta          = flag.Int("eta", 0, "neighbor threshold η (0 = determine automatically)")
+		kappa        = flag.Int("kappa", 2, "max adjusted attributes per outlier (≤0 = unrestricted)")
+		seed         = flag.Int64("seed", 1, "seed for sampling during parameter determination")
+		report       = flag.Bool("report", false, "print a per-outlier adjustment report to stderr")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry the partial repair is written")
+		deadline     = flag.Duration("deadline", 0, "wall-clock budget per outlier (0 = none); tripped saves keep their best-so-far adjustment")
+		maxNodes     = flag.Int("max-nodes", 0, "search-node budget per outlier (0 = unlimited); tripped saves keep their best-so-far adjustment")
+		workers      = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
+		progress     = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while saving")
+		statsJSON    = flag.String("stats-json", "", "write search counters and phase timings as JSON to this file (\"-\" = stderr)")
+		logLevel     = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level (debug|info|warn|error)")
+		remote       = flag.String("remote", "", "run the pipeline against a discserve instance at this base URL (e.g. http://127.0.0.1:8080); if the server is unreachable the run falls back to local execution")
+		remoteCommit = flag.Bool("remote-commit", false, "with -remote: write the repaired tuples back into the server session (PUT per saved row, keyed by upload row order) and keep the session alive instead of deleting it")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -97,7 +98,7 @@ func main() {
 		cstats := &obs.ClientStats{}
 		cl := client.New(client.Config{BaseURL: *remote, Stats: cstats})
 		p := client.Params{Eps: *eps, Eta: *eta, Kappa: *kappa, MaxNodes: *maxNodes, Seed: *seed}
-		repaired, rerr := runRemote(ctx, cl, filepath.Base(*in), string(raw), rel, p, *timeout, *report)
+		repaired, rerr := runRemote(ctx, cl, filepath.Base(*in), string(raw), rel, p, *timeout, *report, *remoteCommit)
 		switch {
 		case rerr == nil:
 			if *out == "" {

@@ -22,12 +22,19 @@ import (
 // client.ErrUnavailable, which the caller treats as "fall back to a local
 // run"; anything else (the server refusing the dataset, a tuple the schema
 // rejects) is definitive and aborts.
-func runRemote(ctx context.Context, cl *client.Client, name, csvText string, rel *disc.Relation, p client.Params, timeout time.Duration, report bool) (*disc.Relation, error) {
+// With commit, each saved adjustment is also written back into the server
+// session (PUT /tuples/{row}, keyed by upload row order — an uploaded CSV's
+// logical handles are exactly its row indices) and the session is kept
+// alive for follow-up queries instead of being deleted.
+func runRemote(ctx context.Context, cl *client.Client, name, csvText string, rel *disc.Relation, p client.Params, timeout time.Duration, report, commit bool) (*disc.Relation, error) {
 	info, err := cl.CreateDatasetCSV(ctx, name, csvText, p)
 	if err != nil {
 		return nil, err
 	}
 	defer func() {
+		if commit {
+			return // the repaired session outlives the CLI
+		}
 		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		cl.Delete(dctx, info.ID)
@@ -102,7 +109,31 @@ func runRemote(ctx context.Context, cl *client.Client, name, csvText string, rel
 		fmt.Fprintf(os.Stderr, ", %d exhausted a budget", exhausted)
 	}
 	fmt.Fprintln(os.Stderr)
+	if commit {
+		committed := 0
+		for _, row := range outIdx {
+			if sameTuple(rel.Schema, repaired.Tuples[row], rel.Tuples[row]) {
+				continue // natural or unsaved: nothing to write back
+			}
+			if _, err := cl.UpdateTuple(ctx, info.ID, row, tupleToJSON(rel.Schema, repaired.Tuples[row]), int(timeout/time.Millisecond)); err != nil {
+				return nil, fmt.Errorf("disccli: committing row %d: %w", row+1, err)
+			}
+			committed++
+		}
+		fmt.Fprintf(os.Stderr, "disccli: remote: committed %d repaired tuple(s) back to session %s\n",
+			committed, info.ID)
+	}
 	return repaired, nil
+}
+
+// sameTuple reports value equality under the schema's attribute kinds.
+func sameTuple(sch *disc.Schema, a, b disc.Tuple) bool {
+	for i := range a {
+		if !a[i].Equal(b[i], sch.Attrs[i].Kind) {
+			return false
+		}
+	}
+	return true
 }
 
 // tupleToJSON shapes one tuple for the wire (numbers for numeric

@@ -15,6 +15,9 @@
 //	                                 excludes each row's own stored copy from its count)
 //	POST   /v1/datasets/{id}/save    repair one tuple
 //	POST   /v1/datasets/{id}/repair  repair a batch of tuples
+//	POST   /v1/datasets/{id}/tuples       insert a tuple (201 + its logical row handle)
+//	PUT    /v1/datasets/{id}/tuples/{idx} update the tuple at a logical row handle
+//	DELETE /v1/datasets/{id}/tuples/{idx} delete the tuple at a logical row handle
 //	GET    /livez                  liveness: 200 while the process serves HTTP at all
 //	GET    /readyz                 readiness: 503 during startup replay and drain
 //	GET    /healthz                legacy combined probe (503 while draining)

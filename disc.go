@@ -283,3 +283,35 @@ var CountingIndex = neighbors.Counting
 func BuildIndex(rel *Relation, eps float64) NeighborIndex {
 	return neighbors.Build(rel, eps)
 }
+
+// MutableIndex is a neighbor index supporting single-tuple inserts and
+// deletes: the grid absorbs churn natively via its cell map, the other
+// index kinds buffer inserts in a delta scanned alongside the frozen
+// base and merged on a size threshold; deletes tombstone rows in place.
+// See internal/neighbors.Mutable.
+type MutableIndex = neighbors.Mutable
+
+// IndexKind selects a concrete index implementation for NewMutableIndex;
+// parse wire names with ParseIndexKind.
+type IndexKind = neighbors.IndexKind
+
+// Index kinds: automatic selection (Build's policy), brute scan, grid,
+// k-d tree, vantage-point tree.
+const (
+	KindAuto  = neighbors.KindAuto
+	KindBrute = neighbors.KindBrute
+	KindGrid  = neighbors.KindGrid
+	KindKD    = neighbors.KindKD
+	KindVP    = neighbors.KindVP
+)
+
+// ParseIndexKind maps the wire names ("auto", "brute", "grid", "kd",
+// "vp") to an IndexKind.
+var ParseIndexKind = neighbors.ParseIndexKind
+
+// NewMutableIndex builds a mutable neighbor index over rel; kind selects
+// the concrete base (KindAuto replicates BuildIndex's policy). Grid and
+// kd require an all-numeric schema.
+func NewMutableIndex(rel *Relation, eps float64, kind IndexKind) (*MutableIndex, error) {
+	return neighbors.NewMutable(rel, eps, kind)
+}

@@ -93,6 +93,11 @@ type Saver struct {
 	// builtIndex marks that the saver built idx itself (as opposed to
 	// Options.Index), so the IndexBuild timing is meaningful.
 	builtIndex bool
+	// mut is idx's mutable wrapper when the saver was built over one
+	// (Options.Index of type *neighbors.Mutable). It unlocks the
+	// incremental inlier-set maintenance surface: InsertInlier,
+	// RemoveInlier and RefreshRadii. nil for static savers.
+	mut *neighbors.Mutable
 }
 
 // NewSaver precomputes the η-th-neighbor radii of r. r must be outlier-free
@@ -142,6 +147,9 @@ func NewSaverContext(ctx context.Context, r *data.Relation, cons Constraints, op
 		builtIndex: built,
 	}
 	s.setup.indexBuild = indexBuild
+	if m, ok := idx.(*neighbors.Mutable); ok {
+		s.mut = m
+	}
 	s.kern = neighbors.KernelOf(idx)
 	if s.kern == nil {
 		// Custom Options.Index without a kernel: compile one for the
@@ -321,9 +329,15 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 
 	// Materialize the compact candidate tables in the arena.
 	if math.IsInf(st.bestCost, 1) {
-		st.ids = grow(ar.ids, s.rel.N())
-		for i := range st.ids {
-			st.ids[i] = i
+		st.ids = grow(ar.ids, s.rel.N())[:0]
+		for i, n := 0, s.rel.N(); i < n; i++ {
+			// Tombstoned rows of a mutable inlier set are invisible to the
+			// index but still occupy physical slots; the all-rows fallback
+			// must skip them too.
+			if s.mut != nil && !s.mut.Alive(i) {
+				continue
+			}
+			st.ids = append(st.ids, i)
 		}
 	} else {
 		ball := cidx.Within(to, s.cons.Eps+st.bestCost, -1)
@@ -406,6 +420,57 @@ func (s *Saver) save(ctx context.Context, to data.Tuple, ar *saveArena) Adjustme
 		Exhausted: st.bud.exhausted,
 		Stats:     *st.stats,
 	}
+}
+
+// Mutable returns the mutable wrapper behind the saver's index, or nil
+// when the saver was built over a static index.
+func (s *Saver) Mutable() *neighbors.Mutable { return s.mut }
+
+// InsertInlier appends t to the inlier relation through the mutable
+// index, extending the η-radius table with a +Inf placeholder, and
+// returns the new physical row index. The caller must follow up with
+// RefreshRadii(t) — the placeholder makes the new row temporarily
+// useless as a Proposition 5 donor, never unsound. Panics on a static
+// saver. Like all the mutation surface, the call must be serialized
+// against concurrent saves by the caller (the serving layer holds a
+// session-wide write lock).
+func (s *Saver) InsertInlier(t data.Tuple) int {
+	i := s.mut.Insert(t)
+	for len(s.etaRadius) <= i {
+		s.etaRadius = append(s.etaRadius, math.Inf(1))
+	}
+	return i
+}
+
+// RemoveInlier tombstones inlier row i. Its η-radius entry goes stale in
+// place; the index never reports tombstoned rows and the all-rows
+// fallback skips them, so the stale value is unreachable.
+func (s *Saver) RemoveInlier(i int) { s.mut.Delete(i) }
+
+// RefreshRadii recomputes the exact η-th-neighbor radius of every live
+// inlier within ε of center (the locality bound: a membership change at
+// distance > ε from a tuple cannot move its δ_η across the only
+// threshold the saver tests, δ_η ≤ ε − d with d ≥ 0, so radii outside
+// the ball may drift above ε without ever changing a feasibility
+// answer). Call it once per mutated value — old value, new value, and
+// each tuple whose inlier/outlier status flipped — after all membership
+// changes of the mutation have been applied. Returns the number of rows
+// refreshed.
+func (s *Saver) RefreshRadii(center data.Tuple) int {
+	if s.mut == nil {
+		return 0
+	}
+	ball := s.idx.Within(center, s.cons.Eps, -1)
+	for _, nb := range ball {
+		i := nb.Idx
+		nn := s.idx.KNN(s.rel.Tuples[i], s.cons.Eta, i)
+		if len(nn) < s.cons.Eta {
+			s.etaRadius[i] = math.Inf(1)
+		} else {
+			s.etaRadius[i] = nn[s.cons.Eta-1].Dist
+		}
+	}
+	return len(ball)
 }
 
 // initialBound finds the nearest inlier whose η-th-neighbor radius fits

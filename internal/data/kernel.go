@@ -20,10 +20,13 @@ import (
 // operation, so kernel results are bit-identical to the scalar path
 // (see docs/PERFORMANCE.md; kernel_test.go proves it differentially).
 //
-// Columns are snapshots: the kernel reflects the relation as of Compile
-// time. Indexes already assume an immutable relation (Grid/VPTree/KDTree
-// precompute geometry at build); callers that mutate tuples must
-// recompile.
+// Columns track the relation under an append-only discipline: AppendRow
+// absorbs a row appended to the relation into every column (and the text
+// dictionaries) in place, so mutable sessions never recompile on insert.
+// In-place edits of existing tuples are still invisible — updates are
+// expressed as tombstone-old + append-new at the index layer (see
+// neighbors.Mutable). AppendRow must be serialized against all queries
+// by the caller; the serving layer holds a session-wide write lock.
 //
 // A Kernel is safe for concurrent use: the text caches are a lock-free
 // dense atomic table (small dictionaries) or a sharded RWMutex map, and
@@ -143,6 +146,74 @@ func CompileKernel(r *Relation) *Kernel {
 		}
 	}
 	return k
+}
+
+// AppendRow absorbs one row just appended to the relation into the
+// compiled columns: numeric columns and the all-numeric row-major mirror
+// grow by one value, text values are interned (new dictionary entries
+// extend the pair cache — the dense triangular layout keeps existing
+// slots valid, and a dictionary that outgrows the dense budget migrates
+// its cached pairs to the sharded maps). The tuple must already be
+// Relation.Append-ed; its arity is checked there. AppendRow is a writer:
+// callers must serialize it against every concurrent query and every
+// other mutation (the serving layer holds a session-wide write lock).
+func (k *Kernel) AppendRow(t Tuple) {
+	m := len(k.attrs)
+	for a := 0; a < m; a++ {
+		ka := &k.attrs[a]
+		if ka.kind == Numeric {
+			ka.num = append(ka.num, t[a].Num)
+			continue
+		}
+		s := t[a].Str
+		id, ok := ka.lookup[s]
+		if !ok {
+			id = int32(len(ka.dict))
+			ka.dict = append(ka.dict, s)
+			ka.lookup[s] = id
+			k.growTextCache(ka)
+		}
+		ka.ids = append(ka.ids, id)
+	}
+	if k.allNum && m > 0 {
+		for a := 0; a < m; a++ {
+			k.rows = append(k.rows, t[a].Num)
+		}
+	}
+	k.n++
+}
+
+// growTextCache extends ka's pair cache for a dictionary that just
+// gained one entry. The dense triangular cache grows in place (existing
+// slots keep their indices under the slot(hi,lo) layout); once the
+// triangle exceeds the dense budget the cached pairs migrate to the
+// sharded maps so the hot path never recomputes what it already paid
+// for.
+func (k *Kernel) growTextCache(ka *kernelAttr) {
+	if ka.dense == nil {
+		return // already sharded; maps grow on their own
+	}
+	d := len(ka.dict)
+	if tri := d * (d + 1) / 2; tri <= denseCacheMaxSlots {
+		ka.dense = append(ka.dense, make([]uint64, tri-len(ka.dense))...)
+		return
+	}
+	ka.shards = make([]cacheShard, cacheShardCount)
+	for s := range ka.shards {
+		ka.shards[s].m = make(map[uint64]float64)
+	}
+	for hi := 0; hi*(hi+1)/2 < len(ka.dense); hi++ {
+		for lo := 0; lo <= hi; lo++ {
+			bits := ka.dense[hi*(hi+1)/2+lo]
+			if bits == 0 {
+				continue
+			}
+			key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+			sh := &ka.shards[(uint64(lo)*0x9e3779b1^uint64(hi))&(cacheShardCount-1)]
+			sh.m[key] = math.Float64frombits(bits - 1)
+		}
+	}
+	ka.dense = nil
 }
 
 // N returns the number of rows, M the number of attributes.
@@ -493,6 +564,12 @@ func (k *Kernel) Bind(t Tuple) *KernelQuery {
 			continue
 		}
 		qa := &q.attrs[a]
+		// AppendRow may have grown the dictionary since this pooled
+		// query was sized; the memo is indexed by dictionary ID.
+		if d := len(ka.dict); len(qa.memo) < d {
+			qa.memo = append(qa.memo, make([]float64, d-len(qa.memo))...)
+			qa.memoGen = append(qa.memoGen, make([]uint32, d-len(qa.memoGen))...)
+		}
 		qa.str = t[a].Str
 		if id, ok := ka.lookup[qa.str]; ok {
 			qa.id = id

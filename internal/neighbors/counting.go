@@ -79,31 +79,14 @@ func (c *Counters) Reset() { *c = Counters{} }
 // one Counters) per goroutine against the same shared base index.
 func Counting(idx Index, c *Counters) Index {
 	switch t := idx.(type) {
-	case *Brute:
-		cp := *t
-		cp.evals = &c.DistEvals
-		cp.ks = hooksFor(c)
-		return &counting{idx: &cp, c: c}
-	case *Grid:
-		cp := *t
-		cp.evals = &c.DistEvals
-		cp.fallbacks = &c.GridFallbacks
-		cp.ks = hooksFor(c)
-		bcp := *t.brute
-		bcp.evals = &c.DistEvals
-		bcp.ks = hooksFor(c)
-		cp.brute = &bcp
-		return &counting{idx: &cp, c: c}
-	case *VPTree:
-		cp := *t
-		cp.evals = &c.DistEvals
-		cp.ks = hooksFor(c)
-		return &counting{idx: &cp, c: c}
-	case *KDTree:
-		cp := *t
-		cp.evals = &c.DistEvals
-		cp.ks = hooksFor(c)
-		return &counting{idx: &cp, c: c}
+	case *Brute, *Grid, *VPTree, *KDTree:
+		return &counting{idx: instrumented(t, c), c: c}
+	case *Mutable:
+		// The view re-instruments its base copy whenever the Mutable's
+		// generation moves, so it stays exact across mutations and merges.
+		return &counting{idx: &mutView{m: t, c: c}, c: c}
+	case *mutView:
+		return Counting(t.m, c) // replace the previous counters
 	case *ctxIndex:
 		// Re-wrap inside-out so cancellation still short-circuits before
 		// the query is counted as executed work.
@@ -113,6 +96,41 @@ func Counting(idx Index, c *Counters) Index {
 	default:
 		return &counting{idx: idx, c: c}
 	}
+}
+
+// instrumented returns a shallow copy of a concrete index with its eval
+// hooks pointed into c; the copy shares the built structure (tree nodes,
+// grid cells, tombstone table) with the original. Unknown types are
+// returned as-is.
+func instrumented(idx Index, c *Counters) Index {
+	switch t := idx.(type) {
+	case *Brute:
+		cp := *t
+		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
+		return &cp
+	case *Grid:
+		cp := *t
+		cp.evals = &c.DistEvals
+		cp.fallbacks = &c.GridFallbacks
+		cp.ks = hooksFor(c)
+		bcp := *t.brute
+		bcp.evals = &c.DistEvals
+		bcp.ks = hooksFor(c)
+		cp.brute = &bcp
+		return &cp
+	case *VPTree:
+		cp := *t
+		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
+		return &cp
+	case *KDTree:
+		cp := *t
+		cp.evals = &c.DistEvals
+		cp.ks = hooksFor(c)
+		return &cp
+	}
+	return idx
 }
 
 // counting counts queries at the interface boundary; the inner index's

@@ -42,6 +42,10 @@ type Grid struct {
 	// cost more than a scan; hoisted here so fallbacks allocate nothing.
 	// It shares the grid's compiled kernel (and text caches).
 	brute *Brute
+	// dead, when non-nil, is the shared tombstone table of a Mutable
+	// wrapper (also wired into brute); tombstoned rows stay in their
+	// cells until the next merge and are skipped mid-scan.
+	dead *deadSet
 	// evals and fallbacks, when non-nil, count distance evaluations and
 	// brute-scan degradations (see Counting).
 	evals     *int64
@@ -63,10 +67,16 @@ func NewGrid(r *data.Relation, cell float64) *Grid {
 			panic("neighbors: grid index requires an all-numeric schema")
 		}
 	}
+	return newGridKernel(r, data.CompileKernel(r), cell)
+}
+
+// newGridKernel builds the grid reusing an already-compiled kernel (the
+// Mutable wrapper keeps one kernel — and its text caches — alive across
+// delta merges).
+func newGridKernel(r *data.Relation, kern *data.Kernel, cell float64) *Grid {
 	if cell <= 0 {
 		cell = 1
 	}
-	kern := data.CompileKernel(r)
 	g := &Grid{r: r, kern: kern, cell: cell, m: r.Schema.M(), brute: newBruteKernel(r, kern)}
 
 	// One pass for the coordinates, so the key layout can be sized to the
@@ -138,6 +148,45 @@ func (g *Grid) packKey(c []int) (key uint64, ok bool) {
 		key |= uint64(c[a]-g.minC[a]) << g.shift[a]
 	}
 	return key, true
+}
+
+// insert adds physical row i — already appended to the relation and the
+// kernel — directly to its cell, the grid's native absorption of
+// single-tuple churn. It reports false when the row's coordinates fall
+// outside the packed key's build-time ranges (such a cell cannot be
+// addressed without re-laying the bit fields); the caller then parks the
+// row in its delta buffer instead. On success the brute fallback's scan
+// bound is extended so degraded queries cover the row too.
+//
+// Only rows contiguous with the fallback's scan bound are accepted: once
+// any row has been refused (i > brute.n would leave a gap owned by the
+// delta buffer), subsequent rows are refused as well, otherwise a
+// fallback scan and the delta scan would both report the gap rows.
+func (g *Grid) insert(i int) bool {
+	if i != g.brute.n {
+		return false
+	}
+	t := g.r.Tuples[i]
+	if g.packed {
+		var cA [gridStackDims]int
+		c := cA[:g.m]
+		for a := 0; a < g.m; a++ {
+			c[a] = g.coord(t, a)
+		}
+		key, ok := g.packKey(c)
+		if !ok {
+			return false
+		}
+		g.cells[key] = append(g.cells[key], i)
+	} else {
+		kb := make([]byte, 0, g.m*8)
+		for a := 0; a < g.m; a++ {
+			kb = appendCoord(kb, g.coord(t, a))
+		}
+		g.cellsStr[string(kb)] = append(g.cellsStr[string(kb)], i)
+	}
+	g.brute.n = i + 1
+	return true
 }
 
 // Rel returns the indexed relation.
@@ -262,7 +311,7 @@ func (g *Grid) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int)
 	bound := g.kern.LEBound(eps)
 	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
-			if i == skip {
+			if i == skip || g.dead.has(i) {
 				continue
 			}
 			count(g.evals)
@@ -287,7 +336,7 @@ func (g *Grid) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 	c := 0
 	g.visit(q, g.reach(eps), func(idx []int) bool {
 		for _, i := range idx {
-			if i == skip {
+			if i == skip || g.dead.has(i) {
 				continue
 			}
 			count(g.evals)

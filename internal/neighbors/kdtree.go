@@ -27,6 +27,10 @@ type KDTree struct {
 	// so every node owns a contiguous range.
 	points []int
 	root   int
+	// dead, when non-nil, is the shared tombstone table of a Mutable
+	// wrapper; tombstoned rows stay in the tree until the next merge and
+	// are skipped mid-scan.
+	dead *deadSet
 	// evals, when non-nil, counts query-time distance evaluations (see
 	// Counting).
 	evals *int64
@@ -51,8 +55,14 @@ func NewKDTree(r *data.Relation) *KDTree {
 			panic("neighbors: kd-tree requires an all-numeric schema")
 		}
 	}
+	return newKDTreeKernel(r, data.CompileKernel(r))
+}
+
+// newKDTreeKernel builds the tree reusing an already-compiled kernel
+// (the Mutable wrapper keeps one kernel alive across delta merges).
+func newKDTreeKernel(r *data.Relation, kern *data.Kernel) *KDTree {
 	m := r.Schema.M()
-	t := &KDTree{r: r, kern: data.CompileKernel(r), m: m, scales: make([]float64, m), root: -1}
+	t := &KDTree{r: r, kern: kern, m: m, scales: make([]float64, m), root: -1}
 	t.cols = make([][]float64, m)
 	for a := 0; a < m; a++ {
 		if s := r.Schema.Attrs[a].Scale; s > 0 {
@@ -162,7 +172,7 @@ func (t *KDTree) rangeAppend(id int, kq *data.KernelQuery, q data.Tuple, eps, le
 	n := &t.nodes[id]
 	if n.attr < 0 {
 		for _, i := range t.points[n.lo:n.hi] {
-			if i == skip {
+			if i == skip || t.dead.has(i) {
 				continue
 			}
 			count(t.evals)
@@ -192,7 +202,7 @@ func (t *KDTree) rangeCount(id int, kq *data.KernelQuery, q data.Tuple, eps, leb
 	n := &t.nodes[id]
 	if n.attr < 0 {
 		for _, i := range t.points[n.lo:n.hi] {
-			if i == skip {
+			if i == skip || t.dead.has(i) {
 				continue
 			}
 			count(t.evals)
@@ -245,7 +255,7 @@ func (t *KDTree) knnSearch(id int, q data.Tuple, skip int, s *kdKNN) {
 	n := &t.nodes[id]
 	if n.attr < 0 {
 		for _, i := range t.points[n.lo:n.hi] {
-			if i == skip {
+			if i == skip || t.dead.has(i) {
 				continue
 			}
 			count(t.evals)

@@ -121,6 +121,15 @@ func Build(r *data.Relation, eps float64) Index {
 type Brute struct {
 	r    *data.Relation
 	kern *data.Kernel
+	// n freezes the scanned row count at build time: under the mutable-
+	// session discipline the relation grows append-only, and rows past n
+	// belong to the Mutable wrapper's delta buffer until a merge (the
+	// grid's native inserts extend n instead, see Grid.insert).
+	n int
+	// dead, when non-nil, is the shared tombstone table of a Mutable
+	// wrapper; tombstoned rows are skipped mid-scan so counts, ranges
+	// and k-NN results never see deleted tuples.
+	dead *deadSet
 	// evals, when non-nil, counts distance evaluations (see Counting):
 	// one per pair considered, whether or not the pair early-exited.
 	evals *int64
@@ -131,8 +140,11 @@ type Brute struct {
 func NewBrute(r *data.Relation) *Brute { return newBruteKernel(r, data.CompileKernel(r)) }
 
 // newBruteKernel indexes r reusing an already-compiled kernel (the grid
-// shares one kernel between its cells and its brute fallback).
-func newBruteKernel(r *data.Relation, k *data.Kernel) *Brute { return &Brute{r: r, kern: k} }
+// shares one kernel between its cells and its brute fallback; the
+// Mutable wrapper shares one kernel across merges).
+func newBruteKernel(r *data.Relation, k *data.Kernel) *Brute {
+	return &Brute{r: r, kern: k, n: r.N()}
+}
 
 // Rel returns the indexed relation.
 func (b *Brute) Rel() *data.Relation { return b.r }
@@ -150,8 +162,8 @@ func (b *Brute) WithinAppend(dst []Neighbor, q data.Tuple, eps float64, skip int
 	kq := b.kern.Bind(q)
 	defer b.ks.flush(kq)
 	bound := b.kern.LEBound(eps)
-	for i, n := 0, b.r.N(); i < n; i++ {
-		if i == skip {
+	for i := 0; i < b.n; i++ {
+		if i == skip || b.dead.has(i) {
 			continue
 		}
 		count(b.evals)
@@ -168,8 +180,8 @@ func (b *Brute) CountWithin(q data.Tuple, eps float64, skip, cap int) int {
 	defer b.ks.flush(kq)
 	bound := b.kern.LEBound(eps)
 	c := 0
-	for i, n := 0, b.r.N(); i < n; i++ {
-		if i == skip {
+	for i := 0; i < b.n; i++ {
+		if i == skip || b.dead.has(i) {
 			continue
 		}
 		count(b.evals)
@@ -196,8 +208,8 @@ func (b *Brute) KNN(q data.Tuple, k, skip int) []Neighbor {
 	defer b.ks.flush(kq)
 	h := newMaxHeap(k)
 	bound, leb := math.Inf(1), math.Inf(1)
-	for i, n := 0, b.r.N(); i < n; i++ {
-		if i == skip {
+	for i := 0; i < b.n; i++ {
+		if i == skip || b.dead.has(i) {
 			continue
 		}
 		count(b.evals)

@@ -25,6 +25,11 @@ type VPTree struct {
 	kern  *data.Kernel
 	nodes []vpNode
 	root  int
+	// dead, when non-nil, is the shared tombstone table of a Mutable
+	// wrapper. A tombstoned vantage point still anchors its subtree's
+	// pruning bounds — its distance is always computed — but it is never
+	// reported as a result.
+	dead *deadSet
 	// evals, when non-nil, counts query-time distance evaluations (see
 	// Counting); build-time distances are not counted.
 	evals *int64
@@ -43,7 +48,14 @@ type vpNode struct {
 
 // NewVPTree builds the tree over r; seed drives vantage-point selection.
 func NewVPTree(r *data.Relation, seed int64) *VPTree {
-	t := &VPTree{r: r, kern: data.CompileKernel(r), root: -1}
+	return newVPTreeKernel(r, data.CompileKernel(r), seed)
+}
+
+// newVPTreeKernel builds the tree reusing an already-compiled kernel
+// (the Mutable wrapper keeps one kernel — and its warmed text caches —
+// alive across delta merges).
+func newVPTreeKernel(r *data.Relation, kern *data.Kernel, seed int64) *VPTree {
+	t := &VPTree{r: r, kern: kern, root: -1}
 	if r.N() == 0 {
 		return t
 	}
@@ -152,7 +164,7 @@ func (t *VPTree) rangeAppend(id int, kq *data.KernelQuery, eps float64, skip int
 	n := &t.nodes[id]
 	count(t.evals)
 	d := kq.DistTo(n.idx)
-	if d <= eps && n.idx != skip {
+	if d <= eps && n.idx != skip && !t.dead.has(n.idx) {
 		dst = append(dst, Neighbor{Idx: n.idx, Dist: d})
 	}
 	// Triangle inequality: any point p in the inside subtree has
@@ -175,7 +187,7 @@ func (t *VPTree) rangeCount(id int, kq *data.KernelQuery, eps float64, skip, cap
 	n := &t.nodes[id]
 	count(t.evals)
 	d := kq.DistTo(n.idx)
-	if d <= eps && n.idx != skip {
+	if d <= eps && n.idx != skip && !t.dead.has(n.idx) {
 		c++
 		if cap > 0 && c >= cap {
 			return c, false
@@ -214,7 +226,7 @@ func (t *VPTree) knnSearch(id int, kq *data.KernelQuery, skip int, h *maxHeap) {
 	n := &t.nodes[id]
 	count(t.evals)
 	d := kq.DistTo(n.idx)
-	if n.idx != skip {
+	if n.idx != skip && !t.dead.has(n.idx) {
 		h.offer(Neighbor{Idx: n.idx, Dist: d})
 	}
 	bound, full := h.bound()

@@ -30,14 +30,19 @@ var (
 type saveReq struct {
 	ctx   context.Context
 	tuple disc.Tuple
-	res   chan saveRes
-	es    *obs.EndpointStats // the HTTP endpoint's counters (save vs repair)
-	enq   time.Time
+	// mut, when non-nil, makes this request a tuple mutation instead of
+	// a save: it rides the same queue so it serializes against admitted
+	// detect/save work, and is answered through the same reply channel.
+	mut *mutation
+	res chan saveRes
+	es  *obs.EndpointStats // the HTTP endpoint's counters (save vs repair vs tuples)
+	enq time.Time
 }
 
 type saveRes struct {
-	adj disc.Adjustment
-	err error
+	adj  disc.Adjustment
+	mres mutationResponse
+	err  error
 }
 
 // batcher is the per-session micro-batching executor. Incoming requests
@@ -66,7 +71,15 @@ type batcher struct {
 	draining atomic.Bool
 	done     chan struct{}
 	batches  atomic.Int64
+	// pending counts admitted requests not yet answered (queued or in
+	// the current dispatch). The registry's sweep and LRU eviction skip
+	// sessions with pending work — closing their batcher would cut off
+	// requests the server already accepted.
+	pending atomic.Int64
 }
+
+// busy reports whether the batcher holds admitted-but-unanswered work.
+func (b *batcher) busy() bool { return b.pending.Load() > 0 }
 
 func newBatcher(s *Session, cfg Config) *batcher {
 	b := &batcher{
@@ -103,6 +116,7 @@ func (b *batcher) admit(reqs ...*saveReq) error {
 		return fmt.Errorf("%w (%d queued, capacity %d, %d arriving)",
 			errQueueFull, len(b.queue), cap(b.queue), len(reqs))
 	}
+	b.pending.Add(int64(len(reqs)))
 	for _, r := range reqs {
 		r.enq = time.Now()
 		b.queue <- r
@@ -212,7 +226,17 @@ func (b *batcher) dispatch(batch []*saveReq) {
 			r.res <- saveRes{err: fmt.Errorf("serve: save failed: %w", err)}
 			return nil
 		}
+		if r.mut != nil {
+			mres, err := b.session.applyMutation(r.mut)
+			r.res <- saveRes{mres: mres, err: err}
+			return nil
+		}
+		// Saves hold the session state read-lock: a mutation in the same
+		// batch (or a later one) takes it exclusively, so each save sees
+		// a consistent snapshot of the mutable state.
+		b.session.stateMu.RLock()
 		adj := b.session.Saver.SaveOne(r.ctx, r.tuple)
+		b.session.stateMu.RUnlock()
 		b.session.addStats(&adj.Stats, 1, 0)
 		r.res <- saveRes{adj: adj}
 		return nil
@@ -222,6 +246,7 @@ func (b *batcher) dispatch(batch []*saveReq) {
 	for _, ie := range errs {
 		batch[ie.Index].res <- saveRes{err: fmt.Errorf("serve: save failed: %w", ie.Err)}
 	}
+	b.pending.Add(-int64(len(batch)))
 	if len(batch) > 1 {
 		b.log.Debug("serve: batch dispatched", "session", b.session.ID,
 			"size", len(batch), "draining", draining)

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/url"
 
@@ -15,6 +16,9 @@ type Params struct {
 	Kappa    int
 	MaxNodes int
 	Seed     int64
+	// Index selects the neighbor index kind ("auto", "brute", "grid",
+	// "kd", "vp"); empty means auto.
+	Index string
 }
 
 // createRequest mirrors the server's dataset-creation body (CSV source).
@@ -26,6 +30,7 @@ type createRequest struct {
 	Kappa    int     `json:"kappa,omitempty"`
 	MaxNodes int     `json:"max_nodes,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
+	Index    string  `json:"index,omitempty"`
 }
 
 // DetectResult is one tuple's screening answer.
@@ -77,6 +82,7 @@ func (c *Client) CreateDatasetCSV(ctx context.Context, name, csv string, p Param
 	err := c.do(ctx, http.MethodPost, "/v1/datasets", createRequest{
 		Name: name, CSV: csv,
 		Eps: p.Eps, Eta: p.Eta, Kappa: p.Kappa, MaxNodes: p.MaxNodes, Seed: p.Seed,
+		Index: p.Index,
 	}, &info)
 	if err != nil {
 		return nil, err
@@ -102,6 +108,66 @@ func (c *Client) Repair(ctx context.Context, id string, tuples [][]any, timeoutM
 	var resp RepairResponse
 	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/repair",
 		repairRequest{Tuples: tuples, TimeoutMS: timeoutMS}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MutateResponse mirrors the server's tuple-mutation answer: the affected
+// logical row handle, the live totals after the mutation, and the
+// incremental-maintenance footprint (flipped memberships, touched rows).
+type MutateResponse struct {
+	Op        string `json:"op"`
+	Index     int    `json:"index"`
+	Tuples    int    `json:"tuples"`
+	Inliers   int    `json:"inliers"`
+	Outliers  int    `json:"outliers"`
+	Flipped   int    `json:"flipped"`
+	Touched   int    `json:"touched"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+}
+
+type mutateRequest struct {
+	Tuple     []any `json:"tuple"`
+	TimeoutMS int   `json:"timeout_ms,omitempty"`
+}
+
+// InsertTuple appends one tuple to the session's live dataset. The response
+// carries the new row's logical handle, stable across later mutations (but
+// not across a server restart after deletes). Note the retry layer can
+// re-send after an ambiguous failure (timeout, 5xx mid-flight), so an
+// insert may be applied twice; callers needing exactly-once should verify
+// via the returned totals.
+func (c *Client) InsertTuple(ctx context.Context, id string, tuple []any, timeoutMS int) (*MutateResponse, error) {
+	var resp MutateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/tuples",
+		mutateRequest{Tuple: tuple, TimeoutMS: timeoutMS}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// UpdateTuple replaces the tuple at a logical row handle.
+func (c *Client) UpdateTuple(ctx context.Context, id string, index int, tuple []any, timeoutMS int) (*MutateResponse, error) {
+	var resp MutateResponse
+	err := c.do(ctx, http.MethodPut,
+		fmt.Sprintf("/v1/datasets/%s/tuples/%d", url.PathEscape(id), index),
+		mutateRequest{Tuple: tuple, TimeoutMS: timeoutMS}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteTuple removes the tuple at a logical row handle; the handle
+// becomes a hole, other handles are unaffected.
+func (c *Client) DeleteTuple(ctx context.Context, id string, index int) (*MutateResponse, error) {
+	var resp MutateResponse
+	err := c.do(ctx, http.MethodDelete,
+		fmt.Sprintf("/v1/datasets/%s/tuples/%d", url.PathEscape(id), index), nil, &resp)
 	if err != nil {
 		return nil, err
 	}

@@ -109,7 +109,7 @@ func New(cfg Config) *Server {
 		reg:   NewRegistry(cfg),
 		start: time.Now(),
 		endpoints: map[string]*obs.EndpointStats{
-			"datasets": {}, "detect": {}, "save": {}, "repair": {},
+			"datasets": {}, "detect": {}, "save": {}, "repair": {}, "tuples": {},
 		},
 	}
 	mux := http.NewServeMux()
@@ -120,6 +120,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/datasets/{id}/detect", s.handleDetect)
 	mux.HandleFunc("POST /v1/datasets/{id}/save", s.handleSave)
 	mux.HandleFunc("POST /v1/datasets/{id}/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/datasets/{id}/tuples", s.handleTupleInsert)
+	mux.HandleFunc("PUT /v1/datasets/{id}/tuples/{idx}", s.handleTupleUpdate)
+	mux.HandleFunc("DELETE /v1/datasets/{id}/tuples/{idx}", s.handleTupleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -213,6 +216,16 @@ type createRequest struct {
 	Eta      int     `json:"eta"`
 	Kappa    int     `json:"kappa"`
 	MaxNodes int     `json:"max_nodes"`
+	// Index selects the neighbor index kind: "auto" (default), "brute",
+	// "grid", "kd" or "vp".
+	Index string `json:"index"`
+}
+
+// mutateRequest carries one tuple for POST .../tuples (insert) and
+// PUT .../tuples/{idx} (update); DELETE takes no body.
+type mutateRequest struct {
+	Tuple     []any `json:"tuple"`
+	TimeoutMS int   `json:"timeout_ms"`
 }
 
 type detectRequest struct {
@@ -290,6 +303,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if k := q.Get("kappa"); k != "" {
 			p.Kappa, _ = strconv.Atoi(k)
 		}
+		p.Index = q.Get("index")
 		rel, rerr := disc.ReadCSV(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if rerr != nil {
 			var mbe *http.MaxBytesError
@@ -322,7 +336,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 				errors.New("serve: exactly one of csv, path or table1 must be set"))
 			return
 		}
-		p := BuildParams{Eps: req.Eps, Eta: req.Eta, Kappa: req.Kappa, MaxNodes: req.MaxNodes, Seed: req.Seed}
+		p := BuildParams{Eps: req.Eps, Eta: req.Eta, Kappa: req.Kappa, MaxNodes: req.MaxNodes, Seed: req.Seed, Index: req.Index}
 		switch {
 		case req.Path != "":
 			sess, err = s.reg.OpenPath(r.Context(), req.Path, p)
@@ -417,19 +431,25 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, errors.New("serve: tuples must be non-empty"))
 		return
 	}
-	// One counting view per request: the counters are goroutine-owned
-	// while the queries run, then merged into the session — the cached
-	// index answers, and the traffic proves it.
-	var qc disc.IndexCounters
-	view := disc.CountingIndex(sess.RelIdx, &qc)
-	resp := detectResponse{Eps: sess.Cons.Eps, Eta: sess.Cons.Eta,
-		Results: make([]detectResult, len(req.Tuples))}
+	tuples := make([]disc.Tuple, len(req.Tuples))
 	for i, raw := range req.Tuples {
-		t, err := parseTuple(sess.Rel.Schema, raw)
+		t, err := parseTuple(sess.schema, raw)
 		if err != nil {
 			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: tuple %d: %w", i, err))
 			return
 		}
+		tuples[i] = t
+	}
+	// One counting view per request: the counters are goroutine-owned
+	// while the queries run, then merged into the session — the cached
+	// index answers, and the traffic proves it. The state read-lock keeps
+	// the queries consistent against concurrent mutations.
+	var qc disc.IndexCounters
+	resp := detectResponse{Eps: sess.Cons.Eps, Eta: sess.Cons.Eta,
+		Results: make([]detectResult, len(tuples))}
+	sess.stateMu.RLock()
+	view := disc.CountingIndex(sess.RelIdx, &qc)
+	for i, t := range tuples {
 		// cap at η: the split only needs "≥ η or not", so the count stops
 		// early exactly like the detection pass would. Member tuples match
 		// their own stored copy, so the cap grows by one and the self-match
@@ -444,6 +464,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = detectResult{Neighbors: n, Outlier: n < sess.Cons.Eta}
 	}
+	sess.stateMu.RUnlock()
 	var st obs.SearchStats
 	st.KNNQueries = qc.KNNQueries
 	st.RangeQueries = qc.RangeQueries
@@ -469,7 +490,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	t, err := parseTuple(sess.Rel.Schema, req.Tuple)
+	t, err := parseTuple(sess.schema, req.Tuple)
 	if err != nil {
 		s.writeErr(w, r, http.StatusBadRequest, err)
 		return
@@ -487,7 +508,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, r, http.StatusGatewayTimeout, res.err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, adjustmentToJSON(sess.Rel.Schema, res.adj))
+		s.writeJSON(w, http.StatusOK, adjustmentToJSON(sess.schema, res.adj))
 	case <-ctx.Done():
 		// The dispatcher will still answer the buffered channel; this
 		// request just stops waiting.
@@ -521,7 +542,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	reqs := make([]*saveReq, len(req.Tuples))
 	for i, raw := range req.Tuples {
-		t, err := parseTuple(sess.Rel.Schema, raw)
+		t, err := parseTuple(sess.schema, raw)
 		if err != nil {
 			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: tuple %d: %w", i, err))
 			return
@@ -541,7 +562,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 					fmt.Errorf("serve: tuple %d: %w", i, res.err))
 				return
 			}
-			aj := adjustmentToJSON(sess.Rel.Schema, res.adj)
+			aj := adjustmentToJSON(sess.schema, res.adj)
 			resp.Adjustments[i] = aj
 			switch {
 			case aj.Saved:
@@ -559,6 +580,111 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTupleInsert appends one tuple to the session's live dataset,
+// maintaining the indexes and detection state incrementally. The mutation
+// rides the session's batcher queue, so it serializes against admitted
+// detect/save work. Answers 201 with the new row's logical handle.
+func (s *Server) handleTupleInsert(w http.ResponseWriter, r *http.Request) {
+	es := s.endpoints["tuples"]
+	es.Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	var req mutateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	t, err := parseTuple(sess.schema, req.Tuple)
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.runMutation(w, r, sess, &mutation{op: "insert", tuple: t}, req.TimeoutMS, http.StatusCreated)
+}
+
+// handleTupleUpdate replaces the tuple at a logical row handle (tombstone
+// the old value, append the new one; the handle follows the new value).
+func (s *Server) handleTupleUpdate(w http.ResponseWriter, r *http.Request) {
+	es := s.endpoints["tuples"]
+	es.Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad row index %q", r.PathValue("idx")))
+		return
+	}
+	var req mutateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	t, perr := parseTuple(sess.schema, req.Tuple)
+	if perr != nil {
+		s.writeErr(w, r, http.StatusBadRequest, perr)
+		return
+	}
+	s.runMutation(w, r, sess, &mutation{op: "update", index: idx, tuple: t}, req.TimeoutMS, http.StatusOK)
+}
+
+// handleTupleDelete tombstones the tuple at a logical row handle. The
+// handle becomes a hole; other handles are unaffected.
+func (s *Server) handleTupleDelete(w http.ResponseWriter, r *http.Request) {
+	es := s.endpoints["tuples"]
+	es.Requests.Add(1)
+	if s.refuseDraining(w, r) {
+		return
+	}
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, r, http.StatusNotFound, fmt.Errorf("serve: no session %q", r.PathValue("id")))
+		return
+	}
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil {
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad row index %q", r.PathValue("idx")))
+		return
+	}
+	s.runMutation(w, r, sess, &mutation{op: "delete", index: idx}, 0, http.StatusOK)
+}
+
+// runMutation admits one mutation through the session's batcher and waits
+// for its answer, sharing handleSave's deadline and error mapping.
+func (s *Server) runMutation(w http.ResponseWriter, r *http.Request, sess *Session, m *mutation, timeoutMS, okStatus int) {
+	ctx, cancel := s.requestCtx(r, timeoutMS)
+	defer cancel()
+	sreq := &saveReq{ctx: ctx, mut: m, res: make(chan saveRes, 1), es: s.endpoints["tuples"]}
+	if err := sess.batcher.admit(sreq); err != nil {
+		s.writeAdmitErr(w, r, err)
+		return
+	}
+	select {
+	case res := <-sreq.res:
+		if res.err != nil {
+			status := http.StatusGatewayTimeout
+			if errors.Is(res.err, errNoSuchRow) {
+				status = http.StatusNotFound
+			}
+			s.writeErr(w, r, status, res.err)
+			return
+		}
+		s.writeJSON(w, okStatus, res.mres)
+	case <-ctx.Done():
+		s.writeErr(w, r, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: request deadline exceeded: %w", ctx.Err()))
+	}
 }
 
 // handleHealthz is the legacy combined probe, kept for existing monitors;

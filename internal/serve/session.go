@@ -46,11 +46,14 @@ type BuildParams struct {
 	MaxNodes int
 	// Seed feeds the parameter-determination sampling.
 	Seed int64
+	// Index names the neighbor index kind ("" or "auto" picks one; see
+	// disc.ParseIndexKind for the wire names).
+	Index string
 }
 
 // key canonicalizes the params for load-by-path deduplication.
 func (p BuildParams) key(path string) string {
-	return fmt.Sprintf("%s|%g|%d|%d|%d|%d", path, p.Eps, p.Eta, p.Kappa, p.MaxNodes, p.Seed)
+	return fmt.Sprintf("%s|%g|%d|%d|%d|%d|%s", path, p.Eps, p.Eta, p.Kappa, p.MaxNodes, p.Seed, p.Index)
 }
 
 // Session is one cached dataset: the relation, its detection split, the
@@ -74,10 +77,38 @@ type Session struct {
 	Det    *disc.Detection
 	// RelIdx indexes the full relation (detection semantics: |r_ε(t)| is
 	// counted over the whole dataset); the saver holds its own index over
-	// the inlier subset.
+	// the inlier subset. relMut is the same index as its mutable wrapper,
+	// the handle the mutation path inserts/deletes through.
 	RelIdx  disc.NeighborIndex
+	relMut  *disc.MutableIndex
 	Saver   *disc.Saver
 	Created time.Time
+
+	// stateMu guards the mutable dataset state: the relation, both
+	// indexes, the detection counts, the saver's inlier set and the
+	// logical row mapping. Detect and save requests hold it for reading,
+	// mutations exclusively. Lock order: stateMu before mu, always.
+	stateMu sync.RWMutex
+	// schema is the immutable schema pointer, safe to read without
+	// stateMu (compaction swaps Rel but never the schema).
+	schema *disc.Schema
+	// logical maps API row indices (upload order, then insertion order)
+	// to physical rows of Rel; -1 marks a deleted row. Updates tombstone
+	// the old physical row and repoint the slot, so row handles survive
+	// any mutation sequence.
+	logical []int
+	// fullToSaver maps full-relation physical rows to the saver's
+	// physical rows (-1 for outliers and dead rows), maintained as
+	// mutations flip tuples across the η threshold.
+	fullToSaver []int
+	// inliers/outliers are live counts; Det.Inliers/Det.Outliers go stale
+	// under mutation and are only rebuilt at compaction.
+	inliers, outliers int
+	// mstats counts mutation traffic (see SessionInfo).
+	mstats mutStats
+	// reg points back at the owning registry so mutations can settle the
+	// byte ledger; set once at register time.
+	reg *Registry
 	// Bytes approximates the session's resident footprint (tuples plus
 	// index structures) for the registry's byte bound.
 	Bytes int64
@@ -105,6 +136,18 @@ type Session struct {
 	indexBuilds int64
 	saves       int64
 	detects     int64
+}
+
+// mutStats counts a session's mutation traffic. Guarded by Session.mu.
+type mutStats struct {
+	inserted, updated, deleted int64
+	// redetectTouched totals the tuples whose ε-neighbor counts were
+	// re-examined by mutations (the incremental alternative to n-sized
+	// re-detections).
+	redetectTouched int64
+	// compactions counts full session rebuilds triggered by tombstone
+	// pressure.
+	compactions int64
 }
 
 // touch marks the session used now (LRU recency).
@@ -142,6 +185,13 @@ type SessionInfo struct {
 	Batches     int64            `json:"batches"`
 	QueueDepth  int              `json:"queue_depth"`
 	Recovered   bool             `json:"recovered"`
+	Index       string           `json:"index"`
+	Inserted    int64            `json:"tuples_inserted"`
+	Updated     int64            `json:"tuples_updated"`
+	Deleted     int64            `json:"tuples_deleted"`
+	Redetect    int64            `json:"redetect_touched"`
+	DeltaMerges int64            `json:"delta_merges"`
+	Compactions int64            `json:"compactions"`
 	CreatedAt   time.Time        `json:"created_at"`
 	LastUsedAt  time.Time        `json:"last_used_at"`
 	Stats       obs.SearchStats  `json:"stats"`
@@ -150,26 +200,35 @@ type SessionInfo struct {
 
 // Info snapshots the session.
 func (s *Session) Info() SessionInfo {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionInfo{
 		ID: s.ID, Name: s.Name,
-		Tuples: s.Rel.N(), Attrs: s.Rel.Schema.M(),
+		Tuples: s.relMut.Live(), Attrs: s.Rel.Schema.M(),
 		Eps: s.Cons.Eps, Eta: s.Cons.Eta, Kappa: s.Kappa,
-		Inliers: len(s.Det.Inliers), Outliers: len(s.Det.Outliers),
+		Inliers: s.inliers, Outliers: s.outliers,
 		Bytes:       s.Bytes,
 		IndexBuilds: s.indexBuilds,
 		Saves:       s.saves, Detects: s.detects,
 		Batches:    s.batcher.batches.Load(),
 		QueueDepth: len(s.batcher.queue),
 		Recovered:  s.Recovered,
-		CreatedAt:  s.Created, LastUsedAt: s.lastUsed,
+		Index:      s.relMut.Kind().String(),
+		Inserted:   s.mstats.inserted, Updated: s.mstats.updated, Deleted: s.mstats.deleted,
+		Redetect:    s.mstats.redetectTouched,
+		DeltaMerges: s.relMut.Merges() + s.Saver.Mutable().Merges(),
+		Compactions: s.mstats.compactions,
+		CreatedAt:   s.Created, LastUsedAt: s.lastUsed,
 		Stats: s.stats, Timings: s.Timings,
 	}
 }
 
-// newID returns a 16-hex-char random session id.
-func newID() string {
+// newID returns a 16-hex-char random session id. It is a var so the
+// collision regression test can force duplicates; register re-checks
+// uniqueness regardless of the generator.
+var newID = func() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(fmt.Sprintf("serve: reading random id: %v", err))
@@ -183,15 +242,24 @@ func newID() string {
 // knob, not an accounting ledger, so a consistent estimate beats an exact
 // but expensive measurement.
 func estimateBytes(rel *disc.Relation) int64 {
-	const tupleOverhead = 48 // slice header + relation bookkeeping
-	const valueBytes = 32    // Value struct (float64 + string header)
-	m := int64(rel.Schema.M())
 	var b int64
 	for _, t := range rel.Tuples {
-		b += tupleOverhead + m*valueBytes
-		for i := range t {
-			b += int64(len(t[i].Str))
-		}
+		b += tupleBytes(t)
+	}
+	return b
+}
+
+// tupleBytes is the per-tuple share of estimateBytes, the increment the
+// mutation path applies to the session and registry ledgers on insert
+// (and subtracts on delete — tombstoned storage lingers until
+// compaction, but the ledger tracks the post-compaction footprint the
+// estimate always approximated).
+func tupleBytes(t disc.Tuple) int64 {
+	const tupleOverhead = 48 // slice header + relation bookkeeping
+	const valueBytes = 32    // Value struct (float64 + string header)
+	b := tupleOverhead + int64(len(t))*valueBytes
+	for i := range t {
+		b += int64(len(t[i].Str))
 	}
 	return 3 * b
 }
@@ -223,31 +291,45 @@ func buildSession(ctx context.Context, id, name, key, source string, rel *disc.R
 		}
 	}
 
+	kind, err := disc.ParseIndexKind(p.Index)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	t0 := time.Now()
-	relIdx := disc.BuildIndex(rel, cons.Eps)
+	relMut, err := disc.NewMutableIndex(rel, cons.Eps, kind)
+	if err != nil {
+		return nil, fmt.Errorf("serve: indexing %q: %w", name, err)
+	}
 	detIdxBuild := time.Since(t0)
-	det, err := disc.DetectWithIndex(ctx, rel, cons, relIdx)
+	det, err := disc.DetectWithIndex(ctx, rel, cons, relMut)
 	if err != nil {
 		return nil, fmt.Errorf("serve: detecting over %q: %w", name, err)
 	}
 	if len(det.Inliers) == 0 {
 		return nil, fmt.Errorf("serve: every tuple of %q violates (ε=%g, η=%d); nothing to save against", name, cons.Eps, cons.Eta)
 	}
-	saver, err := disc.NewSaverContext(ctx, rel.Subset(det.Inliers), cons, disc.Options{
+	t0 = time.Now()
+	saverMut, err := disc.NewMutableIndex(rel.Subset(det.Inliers), cons.Eps, kind)
+	if err != nil {
+		return nil, fmt.Errorf("serve: indexing inliers of %q: %w", name, err)
+	}
+	saverIdxBuild := time.Since(t0)
+	saver, err := disc.NewSaverContext(ctx, saverMut.Rel(), cons, disc.Options{
 		Kappa:    p.Kappa,
 		MaxNodes: p.MaxNodes,
+		Index:    saverMut,
 		Logger:   cfg.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: preparing saver for %q: %w", name, err)
 	}
-	setupStats, saverIdxBuild, etaRadius := saver.SetupStats()
+	setupStats, _, etaRadius := saver.SetupStats()
 
 	s := &Session{
 		ID: id, Name: name, Key: key,
 		Source: source, Params: p,
 		Rel: rel, Cons: cons, Kappa: p.Kappa,
-		Det: det, RelIdx: relIdx, Saver: saver,
+		Det: det, RelIdx: relMut, relMut: relMut, Saver: saver,
 		Created: time.Now(), Bytes: estimateBytes(rel),
 		Timings: obs.PhaseTimings{
 			Validate: validate,
@@ -256,11 +338,12 @@ func buildSession(ctx context.Context, id, name, key, source string, rel *disc.R
 			Total: time.Since(start),
 		},
 		lastUsed: time.Now(),
-		// Exactly two index builds per session lifetime: the full-relation
-		// detection index and the saver's inlier index. Warm requests must
-		// never move this counter.
+		// Exactly two index builds per session lifetime (compactions
+		// aside): the full-relation detection index and the saver's
+		// inlier index. Warm requests must never move this counter.
 		indexBuilds: 2,
 	}
+	s.initMutableState()
 	s.stats.Add(&det.Stats)
 	s.stats.Add(&setupStats)
 	s.batcher = newBatcher(s, cfg)
@@ -360,7 +443,10 @@ func (r *Registry) Sweep(now time.Time) {
 		s.mu.Lock()
 		idle := now.Sub(s.lastUsed)
 		s.mu.Unlock()
-		if idle > r.cfg.TTL {
+		// A session with queued or in-flight batcher work is not idle no
+		// matter what lastUsed says — closing its batcher would cut off
+		// admitted requests mid-queue. It will be swept once drained.
+		if idle > r.cfg.TTL && !s.batcher.busy() {
 			drop = append(drop, s)
 		}
 	}
@@ -477,6 +563,18 @@ func (r *Registry) register(s *Session) (*Session, error) {
 		go s.batcher.close()
 		return nil, errClosed
 	}
+	// An id collision would silently shadow the existing session — and
+	// store.remove would then delete the survivor's snapshot. Regenerate
+	// until unique; 64 random bits make one retry already newsworthy.
+	for {
+		if _, dup := r.sessions[s.ID]; !dup {
+			break
+		}
+		old := s.ID
+		s.ID = newID()
+		r.log.Warn("serve: session id collision, regenerated", "old", old, "new", s.ID)
+	}
+	s.reg = r
 	r.sessions[s.ID] = s
 	if s.Key != "" {
 		r.byKey[s.Key] = s
@@ -518,12 +616,16 @@ func (r *Registry) overLocked() bool {
 	return false
 }
 
-// lruLocked returns the least-recently-used session other than keep.
+// lruLocked returns the least-recently-used session other than keep,
+// skipping sessions with queued or in-flight batcher work — evicting one
+// would cut off admitted requests. When every other session is busy it
+// returns nil and the bound stays temporarily exceeded; the next
+// register or mutation retries.
 func (r *Registry) lruLocked(keep *Session) *Session {
 	var lru *Session
 	var lruAt time.Time
 	for _, s := range r.sessions {
-		if s == keep {
+		if s == keep || s.batcher.busy() {
 			continue
 		}
 		s.mu.Lock()
@@ -534,6 +636,39 @@ func (r *Registry) lruLocked(keep *Session) *Session {
 		}
 	}
 	return lru
+}
+
+// noteBytes settles a mutation's footprint delta into the session and
+// registry ledgers and enforces the byte bound, evicting idle sessions
+// (never the mutating one). Called with the session's stateMu held;
+// lock order stateMu → r.mu → s.mu.
+func (r *Registry) noteBytes(s *Session, delta int64) {
+	var drop []*Session
+	r.mu.Lock()
+	s.mu.Lock()
+	s.Bytes += delta
+	s.mu.Unlock()
+	if _, live := r.sessions[s.ID]; live {
+		r.bytes += delta
+		for r.overLocked() {
+			lru := r.lruLocked(s)
+			if lru == nil {
+				break
+			}
+			r.removeLocked(lru)
+			r.evicted++
+			drop = append(drop, lru)
+		}
+	}
+	r.mu.Unlock()
+	for _, old := range drop {
+		r.log.Info("serve: session evicted", "id", old.ID, "name", old.Name,
+			"bytes", old.Bytes, "for", s.ID)
+		if r.store != nil {
+			r.store.remove(old.ID)
+		}
+		go old.batcher.close()
+	}
 }
 
 // removeLocked unlinks a session from the maps and the byte ledger; the

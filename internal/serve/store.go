@@ -50,15 +50,20 @@ func (st *Store) path(id string) string {
 // stop retrying; any other failure leaves the previous snapshot, if any,
 // intact and is worth retrying at drain time.
 func (st *Store) persist(s *Session) error {
+	// snapshotView densifies tombstoned rows: the file holds only live
+	// tuples in logical order, so logical handles do not survive a restart
+	// after deletes.
+	rel, counts := s.snapshotView()
 	snap := &snapshot.Snapshot{
 		ID: s.ID, Name: s.Name, Key: s.Key,
 		SourcePath: s.Source,
 		Params: snapshot.Params{
 			Eps: s.Params.Eps, Eta: s.Params.Eta, Kappa: s.Params.Kappa,
 			MaxNodes: s.Params.MaxNodes, Seed: s.Params.Seed,
+			Index: s.Params.Index,
 		},
 		Eps: s.Cons.Eps, Eta: s.Cons.Eta,
-		Rel: s.Rel, Counts: s.Det.Counts,
+		Rel: rel, Counts: counts,
 		CreatedAt: s.Created,
 	}
 	if err := snapshot.Write(st.path(s.ID), snap); err != nil {
@@ -196,6 +201,7 @@ func (r *Registry) rebuildFromHint(ctx context.Context, hint *snapshot.Hint) {
 	p := BuildParams{
 		Eps: hint.Params.Eps, Eta: hint.Params.Eta, Kappa: hint.Params.Kappa,
 		MaxNodes: hint.Params.MaxNodes, Seed: hint.Params.Seed,
+		Index: hint.Params.Index,
 	}
 	s, err := r.buildFromPath(ctx, hint.ID, hint.SourcePath, hint.Key, p)
 	if err != nil {
@@ -226,12 +232,24 @@ func (r *Registry) rehydrate(ctx context.Context, snap *snapshot.Snapshot) (*Ses
 	if len(det.Inliers) == 0 {
 		return nil, fmt.Errorf("serve: snapshot %q has no inliers", snap.ID)
 	}
+	kind, err := disc.ParseIndexKind(snap.Params.Index)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot %q: %w", snap.ID, err)
+	}
 	t0 := time.Now()
-	relIdx := disc.BuildIndex(snap.Rel, cons.Eps)
+	relMut, err := disc.NewMutableIndex(snap.Rel, cons.Eps, kind)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding index for %q: %w", snap.ID, err)
+	}
 	detIdxBuild := time.Since(t0)
-	saver, err := disc.NewSaverContext(ctx, snap.Rel.Subset(det.Inliers), cons, disc.Options{
+	saverMut, err := disc.NewMutableIndex(snap.Rel.Subset(det.Inliers), cons.Eps, kind)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding saver index for %q: %w", snap.ID, err)
+	}
+	saver, err := disc.NewSaverContext(ctx, saverMut.Rel(), cons, disc.Options{
 		Kappa:    snap.Params.Kappa,
 		MaxNodes: snap.Params.MaxNodes,
+		Index:    saverMut,
 		Logger:   r.cfg.Logger,
 	})
 	if err != nil {
@@ -244,9 +262,10 @@ func (r *Registry) rehydrate(ctx context.Context, snap *snapshot.Snapshot) (*Ses
 		Params: BuildParams{
 			Eps: snap.Params.Eps, Eta: snap.Params.Eta, Kappa: snap.Params.Kappa,
 			MaxNodes: snap.Params.MaxNodes, Seed: snap.Params.Seed,
+			Index: snap.Params.Index,
 		},
 		Rel: snap.Rel, Cons: cons, Kappa: snap.Params.Kappa,
-		Det: det, RelIdx: relIdx, Saver: saver,
+		Det: det, RelIdx: relMut, relMut: relMut, Saver: saver,
 		Created: snap.CreatedAt, Bytes: estimateBytes(snap.Rel),
 		Recovered: true,
 		Timings: obs.PhaseTimings{
@@ -257,6 +276,7 @@ func (r *Registry) rehydrate(ctx context.Context, snap *snapshot.Snapshot) (*Ses
 		lastUsed:    time.Now(),
 		indexBuilds: 2,
 	}
+	s.initMutableState()
 	s.stats.Add(&setupStats)
 	s.batcher = newBatcher(s, r.cfg)
 	r.log.Info("serve: session recovered", "id", s.ID, "name", s.Name,

@@ -81,6 +81,10 @@ type Params struct {
 	Kappa    int     `json:"kappa"`
 	MaxNodes int     `json:"max_nodes"`
 	Seed     int64   `json:"seed"`
+	// Index names the requested index kind ("" = auto). Added with
+	// mutable sessions; the lenient payload decode keeps snapshots
+	// written before the field readable.
+	Index string `json:"index,omitempty"`
 }
 
 // Hint is the identity section, readable independently of the payload.

@@ -42,18 +42,22 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("starting discserve: %v", err)
 	}
 	waitErr := make(chan error, 1)
-	go func() { waitErr <- cmd.Wait() }()
 	defer cmd.Process.Kill()
 
-	// The first stderr line announces the bound address.
+	// The first stderr line announces the bound address. One goroutine
+	// owns the pipe end to end: scan stderr to EOF, then reap the
+	// process. Wait closes the pipe the moment the child exits, so
+	// calling it concurrently races the final lines — the drain
+	// announcement — out from under the scanner.
 	sc := bufio.NewScanner(stderr)
 	var base string
 	lines := make(chan string, 64)
 	go func() {
-		defer close(lines)
 		for sc.Scan() {
 			lines <- sc.Text()
 		}
+		close(lines)
+		waitErr <- cmd.Wait()
 	}()
 	select {
 	case line := <-lines:
