@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_7.json
+BENCHOUT ?= BENCH_8.json
 BENCHKEY ?= after
 BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke chaos profile
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke chaos drift profile
 
-check: build vet race cover bench-check serve-smoke mutate-smoke chaos fuzz
+check: build vet race cover bench-check serve-smoke mutate-smoke chaos drift fuzz
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,12 @@ serve-smoke:
 # (see mutate_smoke_test.go).
 mutate-smoke:
 	$(GO) test -run TestMutateSmoke -count=1 .
+
+# Docs drift gate: every json counter tag in obs must appear in the
+# docs/OBSERVABILITY.md tables, and every tag the tables document must
+# exist in the code (see telemetry_test.go).
+drift:
+	$(GO) test -run TestObservabilityDocsDrift -count=1 .
 
 # Chaos suite: fault-injected restart loops, batcher panic recovery, and the
 # subprocess SIGKILL harness (kill mid-snapshot-write, restart, assert

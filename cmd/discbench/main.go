@@ -50,6 +50,7 @@ func run() int {
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file when the run ends")
 		statsJSON = flag.String("stats-json", "", "write per-experiment DISC search counters as a JSON map to this file (\"-\" = stderr)")
+		trace     = flag.Bool("trace", false, "print a span timeline of the run (one span per experiment) to stderr at the end")
 	)
 	flag.Parse()
 
@@ -130,6 +131,14 @@ func run() int {
 		Stats obs.SearchStats `json:"stats"`
 	}
 	allStats := map[string]statsEntry{}
+	// With -trace, each experiment becomes one span on a shared timeline —
+	// the same rendering the server uses for slow requests — so a long
+	// -exp all run shows at a glance where the wall-clock went.
+	tr := obs.NewTrace("discbench")
+	runStart := time.Now()
+	if *trace {
+		defer func() { tr.WriteTimeline(os.Stderr) }()
+	}
 	for _, e := range runs {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "discbench: interrupted before %s: %v\n", e.ID, ctx.Err())
@@ -139,6 +148,7 @@ func run() int {
 		cfg.Stats = collector
 		start := time.Now()
 		res, err := e.Run(cfg)
+		tr.AddSpan(e.ID, start.Sub(runStart), time.Since(start))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "discbench: %s: %v\n", e.ID, err)
 			return 1

@@ -61,6 +61,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "parallel saves (0 = GOMAXPROCS)")
 		progress     = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while saving")
 		statsJSON    = flag.String("stats-json", "", "write search counters and phase timings as JSON to this file (\"-\" = stderr)")
+		trace        = flag.Bool("trace", false, "print a per-phase span timeline of the run to stderr (local runs)")
 		logLevel     = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level (debug|info|warn|error)")
 		remote       = flag.String("remote", "", "run the pipeline against a discserve instance at this base URL (e.g. http://127.0.0.1:8080); if the server is unreachable the run falls back to local execution")
 		remoteCommit = flag.Bool("remote-commit", false, "with -remote: write the repaired tuples back into the server session (PUT per saved row, keyed by upload row order) and keep the session alive instead of deleting it")
@@ -96,7 +97,13 @@ func main() {
 
 	if *remote != "" {
 		cstats := &obs.ClientStats{}
-		cl := client.New(client.Config{BaseURL: *remote, Stats: cstats})
+		cl := client.New(client.Config{BaseURL: *remote, Stats: cstats,
+			// Print each minted request id so a failed remote run can be
+			// joined against the server's request log by grep.
+			OnRequest: func(id, method, path string) {
+				fmt.Fprintf(os.Stderr, "disccli: request %s %s %s\n", id, method, path)
+			},
+		})
 		p := client.Params{Eps: *eps, Eta: *eta, Kappa: *kappa, MaxNodes: *maxNodes, Seed: *seed}
 		repaired, rerr := runRemote(ctx, cl, filepath.Base(*in), string(raw), rel, p, *timeout, *report, *remoteCommit)
 		switch {
@@ -214,6 +221,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *trace {
+		writeTrace(os.Stderr, res.Timings)
+	}
 
 	if *out == "" {
 		if err := disc.WriteCSV(os.Stdout, res.Repaired); err != nil {
@@ -247,6 +257,26 @@ func writeFile(path string, rel *disc.Relation) error {
 		return fmt.Errorf("writing %s: %w (partial file removed)", path, werr)
 	}
 	return nil
+}
+
+// writeTrace renders the pipeline's phase timings as the same span timeline
+// the server logs for slow requests, so a local run and a served run read
+// alike. Phases run sequentially, so each span starts where the previous
+// ended; detect_index_build nests inside detect at its start.
+func writeTrace(w *os.File, t disc.PhaseTimings) {
+	tr := obs.NewTrace("local")
+	off := time.Duration(0)
+	add := func(name string, d time.Duration) {
+		tr.AddSpan(name, off, d)
+		off += d
+	}
+	add("validate", t.Validate)
+	tr.AddSpan("detect_index_build", off, t.DetectIndexBuild)
+	add("detect", t.Detect)
+	add("index_build", t.IndexBuild)
+	add("eta_radius", t.EtaRadius)
+	add("save", t.Save)
+	tr.WriteTimeline(w)
 }
 
 // writeStats dumps the run's observability record — the merged Algorithm 1

@@ -22,6 +22,7 @@
 //	GET    /readyz                 readiness: 503 during startup replay and drain
 //	GET    /healthz                legacy combined probe (503 while draining)
 //	GET    /varz                   counters: endpoints, registry, store, per-session stats
+//	GET    /metrics                Prometheus text exposition of the same, plus histograms
 //
 // Capacity is bounded everywhere: the session cache by count, bytes and
 // idle TTL (LRU eviction), each session's admission queue by -max-queue
@@ -46,6 +47,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +71,8 @@ func main() {
 		maxUpload     = flag.Int64("max-upload", 64<<20, "max request body bytes, dataset uploads included")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "max time to finish admitted work on shutdown")
 		dataDir       = flag.String("data-dir", "", "directory for durable session snapshots; on restart sessions are recovered from it instead of rebuilt ('' = memory-only)")
+		slowRequest   = flag.Duration("slow-request", time.Second, "log a span breakdown for API requests slower than this (0 = off)")
+		pprofAddr     = flag.String("pprof-addr", "", "separate listen address for net/http/pprof ('' = off); keep it off public interfaces")
 		faultSpec     = flag.String("fault", "", "fault-injection spec, site:mode[:arg][:prob],... (e.g. snapshot.write:sleep:2s); testing only")
 		faultSeed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 		logLevel      = flag.String("log-level", "info", "structured log level on stderr (debug|info|warn|error)")
@@ -98,9 +102,26 @@ func main() {
 		Workers:       *workers,
 		RequestBudget: *requestBudget,
 		MaxBodyBytes:  *maxUpload,
+		SlowRequest:   *slowRequest,
 		DataDir:       *dataDir,
 		Logger:        log,
 	})
+
+	// pprof gets its own listener so profiling stays reachable when the API
+	// listener is saturated, and so the API address never exposes pprof.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "discserve: pprof listening on %s\n", pln.Addr())
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(pln, nil); err != nil {
+				log.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	// Listen before announcing: scripts (and the smoke test) parse the
 	// printed address, which may carry a kernel-assigned port.

@@ -26,16 +26,20 @@ type StoreStats struct {
 	// a full build instead of being lost.
 	RecoveredSessions atomic.Int64
 	RebuiltSessions   atomic.Int64
+	// SnapshotWriteNS distributes the wall time of durable snapshot writes
+	// (successful or not), nanoseconds.
+	SnapshotWriteNS Histogram
 }
 
 // StoreSnapshot is a point-in-time copy of StoreStats for /varz.
 type StoreSnapshot struct {
-	SnapshotWrites      int64 `json:"snapshot_writes"`
-	SnapshotWriteErrors int64 `json:"snapshot_write_errors"`
-	SnapshotLoads       int64 `json:"snapshot_loads"`
-	SnapshotCorrupt     int64 `json:"snapshot_corrupt"`
-	RecoveredSessions   int64 `json:"recovered_sessions"`
-	RebuiltSessions     int64 `json:"rebuilt_sessions"`
+	SnapshotWrites      int64             `json:"snapshot_writes"`
+	SnapshotWriteErrors int64             `json:"snapshot_write_errors"`
+	SnapshotLoads       int64             `json:"snapshot_loads"`
+	SnapshotCorrupt     int64             `json:"snapshot_corrupt"`
+	RecoveredSessions   int64             `json:"recovered_sessions"`
+	RebuiltSessions     int64             `json:"rebuilt_sessions"`
+	SnapshotWrite       HistogramSnapshot `json:"snapshot_write_ns"`
 }
 
 // Snapshot copies the counters (individually atomic, not mutually
@@ -48,6 +52,7 @@ func (s *StoreStats) Snapshot() StoreSnapshot {
 		SnapshotCorrupt:     s.SnapshotCorrupt.Load(),
 		RecoveredSessions:   s.RecoveredSessions.Load(),
 		RebuiltSessions:     s.RebuiltSessions.Load(),
+		SnapshotWrite:       s.SnapshotWriteNS.Snapshot(),
 	}
 }
 

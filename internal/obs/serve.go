@@ -33,17 +33,21 @@ type EndpointStats struct {
 	// Drained counts admitted requests completed after shutdown began —
 	// the graceful drain finishing what was already in flight.
 	Drained atomic.Int64
+	// Latency distributes end-to-end request wall time (nanoseconds,
+	// middleware-measured: from route match to the last response byte).
+	Latency Histogram
 }
 
 // EndpointSnapshot is a point-in-time copy of EndpointStats, shaped for
 // JSON export (the /varz endpoint).
 type EndpointSnapshot struct {
-	Requests  int64 `json:"requests"`
-	Admitted  int64 `json:"admitted"`
-	Rejected  int64 `json:"rejected"`
-	Coalesced int64 `json:"coalesced"`
-	Expired   int64 `json:"expired"`
-	Drained   int64 `json:"drained"`
+	Requests  int64             `json:"requests"`
+	Admitted  int64             `json:"admitted"`
+	Rejected  int64             `json:"rejected"`
+	Coalesced int64             `json:"coalesced"`
+	Expired   int64             `json:"expired"`
+	Drained   int64             `json:"drained"`
+	Latency   HistogramSnapshot `json:"latency_ns"`
 }
 
 // Snapshot copies the counters. Reads are individually atomic, not mutually
@@ -56,5 +60,6 @@ func (e *EndpointStats) Snapshot() EndpointSnapshot {
 		Coalesced: e.Coalesced.Load(),
 		Expired:   e.Expired.Load(),
 		Drained:   e.Drained.Load(),
+		Latency:   e.Latency.Snapshot(),
 	}
 }

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewRequestID mints a 16-hex-char random id. The serving middleware, the
+// retrying client and the CLIs all mint through this one function so an id
+// greps identically across client output and server logs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("obs: reading random request id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one completed phase of a traced operation, stored as offsets from
+// the trace start so a span costs 24 bytes and no wall-clock reads to
+// render. The same type serves the server's request traces and the CLIs'
+// local-run timelines.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// Trace is one request-scoped span collection. The handler goroutine and
+// the batch worker both append (the request crosses the queue boundary), so
+// appends take a mutex — traces are per-request, never contended in
+// practice, and entirely off the per-node hot path.
+type Trace struct {
+	ID    string
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace now. The spans slice is pre-sized for the request
+// lifecycle (admit, queue, dispatch, save, respond, plus a snapshot or
+// redetect) so a typical request allocates its span storage once.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Start: time.Now(), spans: make([]Span, 0, 8)}
+}
+
+// Span records the phase that began at start and ends now. Nil-safe, so
+// untraced paths (benchmarks, direct library use) pay one nil check.
+func (t *Trace) Span(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Start), Dur: end.Sub(start)})
+	t.mu.Unlock()
+}
+
+// AddSpan records a pre-measured span at an explicit offset — the CLIs use
+// it to replay PhaseTimings into a trace after the fact.
+func (t *Trace) AddSpan(name string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy sorted by start offset.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Breakdown renders the spans as one compact "name=dur" list — the form a
+// slow-request log line carries.
+func (t *Trace) Breakdown() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Name, sp.Dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// WriteTimeline renders the spans as an aligned bar chart, one line per
+// span, scaled to the trace's total extent — the disccli/discbench -trace
+// output.
+func (t *Trace) WriteTimeline(w io.Writer) {
+	spans := t.Spans()
+	var total time.Duration
+	for _, sp := range spans {
+		if end := sp.Start + sp.Dur; end > total {
+			total = end
+		}
+	}
+	fmt.Fprintf(w, "trace %s: %d spans, total %s\n", t.ID, len(spans), total.Round(time.Microsecond))
+	if total <= 0 {
+		return
+	}
+	const width = 40
+	nameW := 0
+	for _, sp := range spans {
+		if len(sp.Name) > nameW {
+			nameW = len(sp.Name)
+		}
+	}
+	for _, sp := range spans {
+		lo := int(int64(width) * int64(sp.Start) / int64(total))
+		n := int(int64(width) * int64(sp.Dur) / int64(total))
+		if n < 1 {
+			n = 1
+		}
+		if lo+n > width {
+			n = width - lo
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("#", n)
+		fmt.Fprintf(w, "  %-*s %-*s %10s +%s\n", nameW, sp.Name, width, bar,
+			sp.Dur.Round(time.Microsecond), sp.Start.Round(time.Microsecond))
+	}
+}
+
+// TraceRing keeps the most recent N traces for postmortems: a slow or
+// failed request's spans are retrievable after the fact without logging
+// every request. Fixed capacity, overwrite-oldest.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	total int64
+}
+
+// NewTraceRing returns a ring holding up to n traces (n < 1 is clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*Trace, n)}
+}
+
+// Add inserts a completed trace, evicting the oldest once full. Nil-safe.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total counts every trace ever added (including those already evicted).
+func (r *TraceRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (r *TraceRing) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		if t := r.buf[(r.next+i)%len(r.buf)]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// traceKey keys the trace in request contexts.
+type traceKey struct{}
+
+// ContextWithTrace installs the trace; TraceFrom retrieves it (nil when the
+// request is untraced, which every recording site tolerates).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace installed by ContextWithTrace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

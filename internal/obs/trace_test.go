@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Errorf("request ids %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("two minted ids collided: %q", a)
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Errorf("id %q contains non-hex %q", a, c)
+		}
+	}
+}
+
+func TestTraceSpansSorted(t *testing.T) {
+	tr := NewTrace("t1")
+	tr.AddSpan("late", 30*time.Millisecond, 5*time.Millisecond)
+	tr.AddSpan("early", 1*time.Millisecond, 2*time.Millisecond)
+	tr.AddSpan("mid", 10*time.Millisecond, 3*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, want := range []string{"early", "mid", "late"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %q, want %q (sorted by start)", i, spans[i].Name, want)
+		}
+	}
+}
+
+func TestTraceSpanMeasures(t *testing.T) {
+	tr := NewTrace("t2")
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Span("work", start)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Dur < 2*time.Millisecond {
+		t.Errorf("Span measured %+v, want dur >= 2ms", spans)
+	}
+}
+
+func TestTraceBreakdown(t *testing.T) {
+	tr := NewTrace("t3")
+	tr.AddSpan("queue", 0, 2*time.Millisecond)
+	tr.AddSpan("save", 2*time.Millisecond, 8*time.Millisecond)
+	got := tr.Breakdown()
+	if got != "queue=2ms save=8ms" {
+		t.Errorf("Breakdown = %q, want %q", got, "queue=2ms save=8ms")
+	}
+	var empty Trace
+	if s := empty.Breakdown(); s != "" {
+		t.Errorf("empty Breakdown = %q, want empty", s)
+	}
+}
+
+func TestTraceWriteTimeline(t *testing.T) {
+	tr := NewTrace("t4")
+	tr.AddSpan("a", 0, 10*time.Millisecond)
+	tr.AddSpan("b", 10*time.Millisecond, 30*time.Millisecond)
+	var sb strings.Builder
+	tr.WriteTimeline(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "trace t4: 2 spans, total 40ms") {
+		t.Errorf("timeline header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("timeline has no bars:\n%s", out)
+	}
+	// b is 3x a's width; with 40 columns that is 10 vs 30 '#'.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "b ") {
+			if n := strings.Count(line, "#"); n != 30 {
+				t.Errorf("span b bar = %d columns, want 30:\n%s", n, out)
+			}
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Span("x", time.Now())
+	tr.AddSpan("y", 0, time.Millisecond)
+	if s := tr.Spans(); s != nil {
+		t.Errorf("nil trace Spans = %v, want nil", s)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("t5")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddSpan(fmt.Sprintf("g%d", g), time.Duration(i), time.Duration(1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Errorf("got %d spans, want 800", got)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(NewTrace(fmt.Sprintf("t%d", i)))
+	}
+	if got := r.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring retained %d traces, want 3", len(snap))
+	}
+	for i, want := range []string{"t2", "t3", "t4"} {
+		if snap[i].ID != want {
+			t.Errorf("snap[%d] = %q, want %q (oldest evicted first)", i, snap[i].ID, want)
+		}
+	}
+	r.Add(nil) // nil-safe
+	var nilRing *TraceRing
+	nilRing.Add(NewTrace("x"))
+	if nilRing.Total() != 0 || nilRing.Snapshot() != nil {
+		t.Errorf("nil ring not inert")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace("ctx")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Errorf("TraceFrom = %v, want the installed trace", got)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Errorf("TraceFrom(empty ctx) = %v, want nil", got)
+	}
+}

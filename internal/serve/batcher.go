@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,9 @@ type saveReq struct {
 	mut *mutation
 	res chan saveRes
 	es  *obs.EndpointStats // the HTTP endpoint's counters (save vs repair vs tuples)
+	// ep names the endpoint for the pprof labels the dispatch workers run
+	// under, so CPU profiles attribute samples to (session, endpoint).
+	ep  string
 	enq time.Time
 }
 
@@ -199,6 +203,7 @@ func (b *batcher) collect(first *saveReq) []*saveReq {
 // admitted.
 func (b *batcher) dispatch(batch []*saveReq) {
 	b.batches.Add(1)
+	b.session.observeBatchSize(len(batch))
 	draining := b.draining.Load()
 	if len(batch) > 1 {
 		for _, r := range batch {
@@ -211,6 +216,13 @@ func (b *batcher) dispatch(batch []*saveReq) {
 	}
 	errs := par.ForEach(context.Background(), len(batch), workers, func(i int) error {
 		r := batch[i]
+		// The queue span closes the moment a worker picks the request up;
+		// its length is the batching + scheduling cost the request paid.
+		tr := obs.TraceFrom(r.ctx)
+		wstart := time.Now()
+		tr.Span("queue", r.enq)
+		b.session.observeQueueWait(wstart.Sub(r.enq))
+		defer tr.Span("dispatch", wstart)
 		if draining {
 			r.es.Drained.Add(1)
 		}
@@ -220,25 +232,38 @@ func (b *batcher) dispatch(batch []*saveReq) {
 				time.Since(r.enq).Round(time.Millisecond), err)}
 			return nil
 		}
-		// Inside the worker func so an injected panic exercises the pool's
-		// recover path, answering the caller like any other save panic.
-		if err := fault.Inject(fault.BatchDispatch); err != nil {
-			r.res <- saveRes{err: fmt.Errorf("serve: save failed: %w", err)}
-			return nil
-		}
-		if r.mut != nil {
-			mres, err := b.session.applyMutation(r.mut)
-			r.res <- saveRes{mres: mres, err: err}
-			return nil
-		}
-		// Saves hold the session state read-lock: a mutation in the same
-		// batch (or a later one) takes it exclusively, so each save sees
-		// a consistent snapshot of the mutable state.
-		b.session.stateMu.RLock()
-		adj := b.session.Saver.SaveOne(r.ctx, r.tuple)
-		b.session.stateMu.RUnlock()
-		b.session.addStats(&adj.Stats, 1, 0)
-		r.res <- saveRes{adj: adj}
+		// pprof labels scope the worker's samples to (session, endpoint),
+		// so a CPU profile of a busy server attributes search work to the
+		// sessions that caused it.
+		pprof.Do(r.ctx, pprof.Labels("session", b.session.ID, "endpoint", r.ep), func(ctx context.Context) {
+			// Inside the worker func so an injected panic exercises the pool's
+			// recover path, answering the caller like any other save panic.
+			if err := fault.Inject(fault.BatchDispatch); err != nil {
+				r.res <- saveRes{err: fmt.Errorf("serve: save failed: %w", err)}
+				return
+			}
+			if r.mut != nil {
+				mstart := time.Now()
+				mres, err := b.session.applyMutation(r.mut)
+				tr.Span("redetect", mstart)
+				if err == nil {
+					b.session.observeRedetect(mres.Touched)
+				}
+				r.res <- saveRes{mres: mres, err: err}
+				return
+			}
+			// Saves hold the session state read-lock: a mutation in the same
+			// batch (or a later one) takes it exclusively, so each save sees
+			// a consistent snapshot of the mutable state.
+			sstart := time.Now()
+			b.session.stateMu.RLock()
+			adj := b.session.Saver.SaveOne(ctx, r.tuple)
+			b.session.stateMu.RUnlock()
+			tr.Span("save", sstart)
+			b.session.observeSave(time.Since(sstart), adj.Stats.Nodes)
+			b.session.addStats(&adj.Stats, 1, 0)
+			r.res <- saveRes{adj: adj}
+		})
 		return nil
 	})
 	// A panic inside one save is recovered by the pool; answer the caller

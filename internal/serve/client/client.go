@@ -70,6 +70,12 @@ type Config struct {
 	Stats *obs.ClientStats
 	// Logger receives retry and breaker transitions (nil = silent).
 	Logger *slog.Logger
+	// OnRequest, when set, is called once per logical call with the
+	// X-Request-ID the client minted for it, before the first attempt.
+	// Every retry of the call reuses the same id, so the callback's output
+	// greps directly against server request logs across attempts
+	// (disccli -remote prints these).
+	OnRequest func(id, method, path string)
 }
 
 func (c Config) withDefaults() Config {
@@ -210,9 +216,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	// One request id per logical call, reused across every retry attempt:
+	// the server logs each attempt under the same id, so its request log
+	// joins against ClientStats.Retries instead of showing unrelated
+	// requests.
+	reqID := obs.NewRequestID()
+	if c.cfg.OnRequest != nil {
+		c.cfg.OnRequest(reqID, method, path)
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable, wait := c.attempt(ctx, method, path, body, out)
+		err, retryable, wait := c.attempt(ctx, method, path, reqID, body, out)
 		if err == nil {
 			c.breakerResult(true)
 			return nil
@@ -231,7 +245,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			wait = c.backoff(attempt)
 		}
 		c.cfg.Stats.Retries.Add(1)
-		c.log.Debug("client: retrying", "method", method, "path", path,
+		c.log.Debug("client: retrying", "request_id", reqID,
+			"method", method, "path", path,
 			"attempt", attempt+1, "wait", wait, "err", err)
 		if serr := sleep(ctx, wait); serr != nil {
 			break
@@ -243,7 +258,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 
 // attempt runs one HTTP exchange. It returns the failure's retryability and
 // the server-requested wait (from Retry-After), when any.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (err error, retryable bool, wait time.Duration) {
+func (c *Client) attempt(ctx context.Context, method, path, reqID string, body []byte, out any) (err error, retryable bool, wait time.Duration) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -254,6 +269,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if err != nil {
 		return fmt.Errorf("client: building request: %w", err), false, 0
 	}
+	req.Header.Set("X-Request-ID", reqID)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}

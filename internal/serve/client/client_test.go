@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -175,6 +176,79 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 	if err := cl.Ready(context.Background()); err != nil {
 		t.Fatalf("breaker did not close after successful probe: %v", err)
+	}
+}
+
+// TestRequestIDAcrossRetries: the client mints one X-Request-ID per
+// logical call before the first attempt and reuses it verbatim on every
+// retry, reporting it through OnRequest — so client output, server logs
+// and retry attempts all join on one id.
+func TestRequestIDAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-ID"))
+		mu.Unlock()
+		if hits.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ready"}`))
+	}))
+	defer ts.Close()
+
+	var minted []string
+	cfg := fastCfg(ts.URL, nil)
+	cfg.OnRequest = func(id, method, path string) {
+		minted = append(minted, id)
+		if method != "GET" || path != "/readyz" {
+			t.Errorf("OnRequest(%q, %q, %q): wrong method/path", id, method, path)
+		}
+	}
+	cl := New(cfg)
+	if err := cl.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(seen))
+	}
+	if seen[0] == "" || len(seen[0]) != 16 {
+		t.Fatalf("first attempt carried no minted request id: %q", seen[0])
+	}
+	if seen[1] != seen[0] || seen[2] != seen[0] {
+		t.Errorf("retries changed the request id: %v (want one id across all attempts)", seen)
+	}
+	if len(minted) != 1 || minted[0] != seen[0] {
+		t.Errorf("OnRequest reported %v, want exactly the id the server saw (%q)", minted, seen[0])
+	}
+}
+
+// TestRequestIDUniquePerCall: two logical calls mint two distinct ids.
+func TestRequestIDUniquePerCall(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-ID"))
+		mu.Unlock()
+		w.Write([]byte(`{"status":"ready"}`))
+	}))
+	defer ts.Close()
+
+	cl := New(fastCfg(ts.URL, nil))
+	for i := 0; i < 2; i++ {
+		if err := cl.Ready(context.Background()); err != nil {
+			t.Fatalf("Ready %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] == seen[1] {
+		t.Errorf("two calls carried ids %v, want two distinct ids", seen)
 	}
 }
 

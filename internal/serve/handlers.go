@@ -44,6 +44,11 @@ type Config struct {
 	RequestBudget time.Duration
 	// MaxBodyBytes caps request bodies, uploads included (default 64 MiB).
 	MaxBodyBytes int64
+	// SlowRequest, when positive, makes the middleware log the full span
+	// breakdown (admit, queue, dispatch, save, respond, ...) of any API
+	// request whose end-to-end latency reaches the threshold. 0 disables
+	// the slow log; the trace ring still retains recent traces either way.
+	SlowRequest time.Duration
 	// DataDir, when set, makes sessions durable: each build is snapshotted
 	// under this directory and a restart replays the snapshots (call
 	// Server.Recover) instead of rebuilding from scratch. Empty keeps the
@@ -97,7 +102,13 @@ type Server struct {
 
 	// endpoints maps the API surface to its admission counters.
 	endpoints map[string]*obs.EndpointStats
+	// traces retains the most recent API request traces for postmortems.
+	traces *obs.TraceRing
 }
+
+// traceRingSize bounds the retained request traces: enough to cover a
+// burst, small enough that the ring never matters for memory.
+const traceRingSize = 256
 
 // New builds a server. Callers serve s.Handler() and must call Shutdown for
 // a graceful drain.
@@ -111,6 +122,7 @@ func New(cfg Config) *Server {
 		endpoints: map[string]*obs.EndpointStats{
 			"datasets": {}, "detect": {}, "save": {}, "repair": {}, "tuples": {},
 		},
+		traces: obs.NewTraceRing(traceRingSize),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", s.handleCreate)
@@ -127,6 +139,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /varz", s.handleVarz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.wrap(mux)
 	// Without a data dir there is no snapshot replay to wait for; with one,
 	// readiness arrives when Recover completes.
@@ -476,6 +489,8 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 // handleSave repairs one tuple through the session's batcher.
 func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	hStart := time.Now()
+	tr := obs.TraceFrom(r.Context())
 	es := s.endpoints["save"]
 	es.Requests.Add(1)
 	if s.refuseDraining(w, r) {
@@ -497,18 +512,23 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	sreq := &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es}
+	sreq := &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es, ep: "save"}
 	if err := sess.batcher.admit(sreq); err != nil {
 		s.writeAdmitErr(w, r, err)
 		return
 	}
+	// The admit span covers decode, tuple parsing and queue admission —
+	// everything between route match and the request entering the queue.
+	tr.Span("admit", hStart)
 	select {
 	case res := <-sreq.res:
 		if res.err != nil {
 			s.writeErr(w, r, http.StatusGatewayTimeout, res.err)
 			return
 		}
+		rs := time.Now()
 		s.writeJSON(w, http.StatusOK, adjustmentToJSON(sess.schema, res.adj))
+		tr.Span("respond", rs)
 	case <-ctx.Done():
 		// The dispatcher will still answer the buffered channel; this
 		// request just stops waiting.
@@ -520,6 +540,8 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 // handleRepair batches many tuples through the same admission path;
 // admission is all-or-nothing so a 429 never splits a batch.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	hStart := time.Now()
+	tr := obs.TraceFrom(r.Context())
 	es := s.endpoints["repair"]
 	es.Requests.Add(1)
 	if s.refuseDraining(w, r) {
@@ -547,12 +569,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("serve: tuple %d: %w", i, err))
 			return
 		}
-		reqs[i] = &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es}
+		reqs[i] = &saveReq{ctx: ctx, tuple: t, res: make(chan saveRes, 1), es: es, ep: "repair"}
 	}
 	if err := sess.batcher.admit(reqs...); err != nil {
 		s.writeAdmitErr(w, r, err)
 		return
 	}
+	tr.Span("admit", hStart)
+	rs := time.Now()
 	resp := repairResponse{Adjustments: make([]adjustmentJSON, len(reqs))}
 	for i, sr := range reqs {
 		select {
@@ -580,6 +604,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+	// One respond span for the whole gather: repair answers arrive
+	// per-tuple, so the span covers waiting for and encoding all of them.
+	tr.Span("respond", rs)
 }
 
 // handleTupleInsert appends one tuple to the session's live dataset,
@@ -663,13 +690,16 @@ func (s *Server) handleTupleDelete(w http.ResponseWriter, r *http.Request) {
 // runMutation admits one mutation through the session's batcher and waits
 // for its answer, sharing handleSave's deadline and error mapping.
 func (s *Server) runMutation(w http.ResponseWriter, r *http.Request, sess *Session, m *mutation, timeoutMS, okStatus int) {
+	hStart := time.Now()
+	tr := obs.TraceFrom(r.Context())
 	ctx, cancel := s.requestCtx(r, timeoutMS)
 	defer cancel()
-	sreq := &saveReq{ctx: ctx, mut: m, res: make(chan saveRes, 1), es: s.endpoints["tuples"]}
+	sreq := &saveReq{ctx: ctx, mut: m, res: make(chan saveRes, 1), es: s.endpoints["tuples"], ep: "tuples"}
 	if err := sess.batcher.admit(sreq); err != nil {
 		s.writeAdmitErr(w, r, err)
 		return
 	}
+	tr.Span("admit", hStart)
 	select {
 	case res := <-sreq.res:
 		if res.err != nil {
@@ -680,7 +710,9 @@ func (s *Server) runMutation(w http.ResponseWriter, r *http.Request, sess *Sessi
 			s.writeErr(w, r, status, res.err)
 			return
 		}
+		rs := time.Now()
 		s.writeJSON(w, okStatus, res.mres)
+		tr.Span("respond", rs)
 	case <-ctx.Done():
 		s.writeErr(w, r, http.StatusGatewayTimeout,
 			fmt.Errorf("serve: request deadline exceeded: %w", ctx.Err()))
@@ -760,6 +792,11 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		},
 		"endpoints": endpoints,
 		"sessions":  infos,
+		// hists is the global half of the per-session/global histogram
+		// pair: queue wait, batch size, save latency and nodes, and
+		// re-detection footprint across every session this process served.
+		"hists":  s.reg.hists.Snapshot(),
+		"traces": s.traces.Total(),
 	}
 	if st := s.reg.store; st != nil {
 		vars["store"] = map[string]any{

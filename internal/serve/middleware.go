@@ -2,13 +2,14 @@ package serve
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ctxKey keys the values this package stores in request contexts.
@@ -42,20 +43,50 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// wrap layers the middleware: request ID assignment, panic recovery, and
-// request logging, outermost first.
+// endpointOf classifies a request path onto the endpoint-stats key the
+// handlers use, "" for paths outside the API surface (health, varz,
+// metrics).
+func endpointOf(path string) string {
+	if !strings.HasPrefix(path, "/v1/datasets") {
+		return ""
+	}
+	switch {
+	case strings.HasSuffix(path, "/detect"):
+		return "detect"
+	case strings.HasSuffix(path, "/save"):
+		return "save"
+	case strings.HasSuffix(path, "/repair"):
+		return "repair"
+	case strings.Contains(path, "/tuples"):
+		return "tuples"
+	default:
+		return "datasets"
+	}
+}
+
+// wrap layers the middleware: request ID assignment, request-scoped trace,
+// panic recovery, latency recording and request logging, outermost first.
 func (s *Server) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Request ID: honor the client's (proxies propagate one), mint
-		// otherwise, echo it back either way.
+		// Request ID: honor the client's (proxies and the retrying client
+		// propagate one, correlating attempts of the same logical call),
+		// mint otherwise, echo it back either way.
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
-			var buf [8]byte
-			rand.Read(buf[:])
-			id = hex.EncodeToString(buf[:])
+			id = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+
+		// API requests get a trace; probe and scrape paths do not, so the
+		// ring holds real work, not /metrics polls.
+		ep := endpointOf(r.URL.Path)
+		var tr *obs.Trace
+		if ep != "" {
+			tr = obs.NewTrace(id)
+			ctx = obs.ContextWithTrace(ctx, tr)
+		}
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -76,9 +107,22 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 					})
 				}
 			}
+			dur := time.Since(start)
+			if ep != "" {
+				s.endpoints[ep].Latency.Observe(int64(dur))
+			}
+			if tr != nil {
+				s.traces.Add(tr)
+				if thr := s.cfg.SlowRequest; thr > 0 && dur >= thr {
+					s.log.Warn("serve: slow request", "request_id", id,
+						"method", r.Method, "path", r.URL.Path,
+						"status", sw.status, "dur", dur.Round(time.Microsecond),
+						"spans", tr.Breakdown())
+				}
+			}
 			s.log.Info("serve: request", "request_id", id,
 				"method", r.Method, "path", r.URL.Path,
-				"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
+				"status", sw.status, "dur", dur.Round(time.Microsecond))
 		}()
 		next.ServeHTTP(sw, r)
 	})

@@ -136,6 +136,48 @@ type Session struct {
 	indexBuilds int64
 	saves       int64
 	detects     int64
+	// hists is the per-session half of the serving histograms; every
+	// observation lands here and in the registry's global bundle.
+	hists obs.ServeHists
+}
+
+// observeSave records one save's wall time and node count into the
+// session's histograms and the registry's global ones. The double record
+// costs six atomic adds per save — nothing next to the save itself — and
+// keeps both scopes exact without a merge at scrape time.
+func (s *Session) observeSave(d time.Duration, nodes int64) {
+	s.hists.Save.Observe(int64(d))
+	s.hists.SaveNodes.Observe(nodes)
+	if s.reg != nil {
+		s.reg.hists.Save.Observe(int64(d))
+		s.reg.hists.SaveNodes.Observe(nodes)
+	}
+}
+
+// observeQueueWait records how long one admitted request waited in the
+// queue before a dispatch worker picked it up.
+func (s *Session) observeQueueWait(d time.Duration) {
+	s.hists.QueueWait.Observe(int64(d))
+	if s.reg != nil {
+		s.reg.hists.QueueWait.Observe(int64(d))
+	}
+}
+
+// observeBatchSize records one dispatch's batch size.
+func (s *Session) observeBatchSize(n int) {
+	s.hists.BatchSize.Observe(int64(n))
+	if s.reg != nil {
+		s.reg.hists.BatchSize.Observe(int64(n))
+	}
+}
+
+// observeRedetect records one mutation's re-detection footprint (the
+// `touched` count also totalled in mstats.redetectTouched).
+func (s *Session) observeRedetect(touched int) {
+	s.hists.Redetect.Observe(int64(touched))
+	if s.reg != nil {
+		s.reg.hists.Redetect.Observe(int64(touched))
+	}
 }
 
 // mutStats counts a session's mutation traffic. Guarded by Session.mu.
@@ -169,33 +211,34 @@ func (s *Session) addStats(st *obs.SearchStats, saves, detects int64) {
 
 // SessionInfo is the JSON view of a session.
 type SessionInfo struct {
-	ID          string           `json:"id"`
-	Name        string           `json:"name"`
-	Tuples      int              `json:"tuples"`
-	Attrs       int              `json:"attrs"`
-	Eps         float64          `json:"eps"`
-	Eta         int              `json:"eta"`
-	Kappa       int              `json:"kappa"`
-	Inliers     int              `json:"inliers"`
-	Outliers    int              `json:"outliers"`
-	Bytes       int64            `json:"bytes"`
-	IndexBuilds int64            `json:"index_builds"`
-	Saves       int64            `json:"saves"`
-	Detects     int64            `json:"detects"`
-	Batches     int64            `json:"batches"`
-	QueueDepth  int              `json:"queue_depth"`
-	Recovered   bool             `json:"recovered"`
-	Index       string           `json:"index"`
-	Inserted    int64            `json:"tuples_inserted"`
-	Updated     int64            `json:"tuples_updated"`
-	Deleted     int64            `json:"tuples_deleted"`
-	Redetect    int64            `json:"redetect_touched"`
-	DeltaMerges int64            `json:"delta_merges"`
-	Compactions int64            `json:"compactions"`
-	CreatedAt   time.Time        `json:"created_at"`
-	LastUsedAt  time.Time        `json:"last_used_at"`
-	Stats       obs.SearchStats  `json:"stats"`
-	Timings     obs.PhaseTimings `json:"timings"`
+	ID          string                 `json:"id"`
+	Name        string                 `json:"name"`
+	Tuples      int                    `json:"tuples"`
+	Attrs       int                    `json:"attrs"`
+	Eps         float64                `json:"eps"`
+	Eta         int                    `json:"eta"`
+	Kappa       int                    `json:"kappa"`
+	Inliers     int                    `json:"inliers"`
+	Outliers    int                    `json:"outliers"`
+	Bytes       int64                  `json:"bytes"`
+	IndexBuilds int64                  `json:"index_builds"`
+	Saves       int64                  `json:"saves"`
+	Detects     int64                  `json:"detects"`
+	Batches     int64                  `json:"batches"`
+	QueueDepth  int                    `json:"queue_depth"`
+	Recovered   bool                   `json:"recovered"`
+	Index       string                 `json:"index"`
+	Inserted    int64                  `json:"tuples_inserted"`
+	Updated     int64                  `json:"tuples_updated"`
+	Deleted     int64                  `json:"tuples_deleted"`
+	Redetect    int64                  `json:"redetect_touched"`
+	DeltaMerges int64                  `json:"delta_merges"`
+	Compactions int64                  `json:"compactions"`
+	CreatedAt   time.Time              `json:"created_at"`
+	LastUsedAt  time.Time              `json:"last_used_at"`
+	Stats       obs.SearchStats        `json:"stats"`
+	Timings     obs.PhaseTimings       `json:"timings"`
+	Hists       obs.ServeHistsSnapshot `json:"hists"`
 }
 
 // Info snapshots the session.
@@ -222,6 +265,7 @@ func (s *Session) Info() SessionInfo {
 		Compactions: s.mstats.compactions,
 		CreatedAt:   s.Created, LastUsedAt: s.lastUsed,
 		Stats: s.stats, Timings: s.Timings,
+		Hists: s.hists.Snapshot(),
 	}
 }
 
@@ -367,6 +411,10 @@ type Registry struct {
 	// error-free signature.
 	store    *Store
 	storeErr error
+	// hists aggregates the serving histograms across every session this
+	// registry ever held — the global half of the per-session/global pair,
+	// monotone across session eviction.
+	hists obs.ServeHists
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -475,7 +523,7 @@ func (r *Registry) Upload(ctx context.Context, name string, rel *disc.Relation, 
 	if err != nil {
 		return nil, err
 	}
-	return r.register(s)
+	return r.register(ctx, s)
 }
 
 // OpenPath returns the session for (path, params), loading and building it
@@ -507,7 +555,7 @@ func (r *Registry) OpenPath(ctx context.Context, path string, p BuildParams) (*S
 
 	s, err := r.buildFromPath(ctx, newID(), path, key, p)
 	if err == nil {
-		s, err = r.register(s)
+		s, err = r.register(ctx, s)
 	}
 	fl.s, fl.err = s, err
 	r.mu.Lock()
@@ -554,8 +602,10 @@ func (r *Registry) buildFromPath(ctx context.Context, id, path, key string, p Bu
 }
 
 // register installs a built session and enforces the count/byte bounds,
-// evicting least-recently-used sessions (never the one just added).
-func (r *Registry) register(s *Session) (*Session, error) {
+// evicting least-recently-used sessions (never the one just added). ctx
+// carries the building request's trace, so the registration-time snapshot
+// write shows up as a span on dataset-create requests.
+func (r *Registry) register(ctx context.Context, s *Session) (*Session, error) {
 	var drop []*Session
 	r.mu.Lock()
 	if r.closed {
@@ -598,7 +648,7 @@ func (r *Registry) register(s *Session) (*Session, error) {
 		}
 		go old.batcher.close()
 	}
-	r.persist(s)
+	r.persist(ctx, s)
 	return s, nil
 }
 
@@ -755,7 +805,7 @@ func (r *Registry) Close() {
 	// failed earlier (transient IO, injected fault): retry them now so a
 	// clean shutdown loses nothing a restart could have recovered.
 	for _, s := range all {
-		r.persist(s)
+		r.persist(context.Background(), s)
 	}
 	for _, s := range all {
 		s.batcher.close()

@@ -66,7 +66,12 @@ func (st *Store) persist(s *Session) error {
 		Rel: rel, Counts: counts,
 		CreatedAt: s.Created,
 	}
-	if err := snapshot.Write(st.path(s.ID), snap); err != nil {
+	t0 := time.Now()
+	err := snapshot.Write(st.path(s.ID), snap)
+	// Write latency is recorded for failures too: a disk going slow before
+	// it goes bad is exactly what this histogram is for.
+	st.stats.SnapshotWriteNS.ObserveSince(t0)
+	if err != nil {
 		st.stats.SnapshotWriteErrors.Add(1)
 		return err
 	}
@@ -103,8 +108,9 @@ func (st *Store) Dir() string { return st.dir }
 // persist writes the session's snapshot when a store is configured. A
 // failed write leaves the session dirty so the SIGTERM drain retries it; an
 // unserializable schema (custom text metric) marks the session permanently
-// memory-only instead.
-func (r *Registry) persist(s *Session) {
+// memory-only instead. The write is recorded as a span on ctx's trace when
+// the persisting request carries one.
+func (r *Registry) persist(ctx context.Context, s *Session) {
 	if r.store == nil {
 		return
 	}
@@ -114,7 +120,9 @@ func (r *Registry) persist(s *Session) {
 	if skip {
 		return
 	}
+	t0 := time.Now()
 	err := r.store.persist(s)
+	obs.TraceFrom(ctx).Span("snapshot_write", t0)
 	s.mu.Lock()
 	switch {
 	case err == nil:
@@ -165,7 +173,7 @@ func (r *Registry) Recover(ctx context.Context) error {
 			s, rerr := r.rehydrate(ctx, snap)
 			if rerr == nil {
 				s.persisted = true // its snapshot is the file just read
-				if _, rerr = r.register(s); rerr == nil {
+				if _, rerr = r.register(ctx, s); rerr == nil {
 					st.stats.RecoveredSessions.Add(1)
 					continue
 				}
@@ -209,7 +217,7 @@ func (r *Registry) rebuildFromHint(ctx context.Context, hint *snapshot.Hint) {
 			"path", hint.SourcePath, "err", err)
 		return
 	}
-	if _, err := r.register(s); err != nil {
+	if _, err := r.register(ctx, s); err != nil {
 		return
 	}
 	r.store.stats.RebuiltSessions.Add(1)

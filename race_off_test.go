@@ -1,0 +1,5 @@
+//go:build !race
+
+package disc_test
+
+const raceDetector = false

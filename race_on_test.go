@@ -1,0 +1,8 @@
+//go:build race
+
+package disc_test
+
+// raceDetector reports whether this test binary runs under the race
+// detector, whose sync.Pool randomly drops items and so re-admits
+// per-save allocations the production build never pays.
+const raceDetector = true

@@ -15,12 +15,15 @@ import (
 	"time"
 
 	disc "repro"
+	"repro/internal/obs"
 )
 
 // TestServeSmoke drives a real discserve process through the whole session
 // lifecycle: upload a dataset, detect, save, batch-repair, overflow the
-// admission queue into a 429, read /varz, and drain on SIGTERM — the
-// scripted round-trip `make serve-smoke` runs in CI.
+// admission queue into a 429, read /varz, scrape /metrics, and drain on
+// SIGTERM — the scripted round-trip `make serve-smoke` runs in CI. With
+// -slow-request set to 1ns every API request is "slow", so the drain tail
+// also asserts the span-breakdown log line fired.
 func TestServeSmoke(t *testing.T) {
 	discserve := buildTool(t, "discserve")
 
@@ -32,6 +35,7 @@ func TestServeSmoke(t *testing.T) {
 		"-batch-window", "200ms",
 		"-max-batch", "1",
 		"-workers", "1",
+		"-slow-request", "1ns",
 		"-log-level", "warn",
 	)
 	stderr, err := cmd.StderrPipe()
@@ -251,6 +255,38 @@ func TestServeSmoke(t *testing.T) {
 			session.Stats.DistEvals, varz.Sessions[0].Stats.DistEvals)
 	}
 
+	// Scrape /metrics mid-run: the exposition must parse under the strict
+	// validator and the save-latency histogram must have real samples.
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", mresp.StatusCode)
+	}
+	fams, err := obs.ParseProm(bytes.NewReader(mbody))
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, mbody)
+	}
+	var saveCount float64
+	if f := fams["disc_save_seconds"]; f == nil {
+		t.Error("/metrics missing the disc_save_seconds histogram")
+	} else {
+		for _, smp := range f.Samples {
+			if smp.Name == "disc_save_seconds_count" {
+				saveCount += smp.Value
+			}
+		}
+	}
+	if saveCount < 1 {
+		t.Errorf("disc_save_seconds recorded %v samples, want >= 1 after the saves", saveCount)
+	}
+	if f := fams["disc_endpoint_requests_total"]; f == nil || f.Type != "counter" {
+		t.Error("/metrics missing the endpoint request counters")
+	}
+
 	// Graceful drain: SIGTERM, then the process announces the drain and
 	// exits 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -264,22 +300,31 @@ func TestServeSmoke(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("discserve did not exit after SIGTERM")
 	}
-	var sawDrain bool
+	// Drain the remaining stderr: the drain announcement must be there,
+	// and so must at least one slow-request span breakdown (the 1ns
+	// threshold makes every API request slow).
+	var sawDrain, sawSlow bool
 	deadline := time.After(5 * time.Second)
-	for !sawDrain {
+	for {
 		select {
 		case line, open := <-lines:
 			if !open {
 				if !sawDrain {
 					t.Error("no drain announcement on stderr")
 				}
+				if !sawSlow {
+					t.Error("no slow-request span breakdown on stderr (-slow-request 1ns)")
+				}
 				return
 			}
 			if strings.Contains(line, "drained") {
 				sawDrain = true
 			}
+			if strings.Contains(line, "slow request") && strings.Contains(line, "spans=") {
+				sawSlow = true
+			}
 		case <-deadline:
-			t.Fatal("drain announcement never arrived")
+			t.Fatal("stderr never closed after exit")
 		}
 	}
 }
