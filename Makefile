@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_8.json
+BENCHOUT ?= BENCH_9.json
 BENCHKEY ?= after
-BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild|BenchmarkShardDetect|BenchmarkShardSave
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke chaos drift profile
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke shard-smoke chaos drift profile
 
-check: build vet race cover bench-check serve-smoke mutate-smoke chaos drift fuzz
+check: build vet race cover bench-check serve-smoke mutate-smoke shard-smoke chaos drift fuzz
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,14 @@ serve-smoke:
 mutate-smoke:
 	$(GO) test -run TestMutateSmoke -count=1 .
 
+# Scripted coordinator round-trip: build discserve, start three worker
+# listeners plus a coordinator over them, drive upload -> detect -> save,
+# SIGKILL one replica owner (failover save + degraded /varz + labeled
+# /metrics), SIGKILL the second owner (503), then SIGTERM drain (see
+# shard_smoke_test.go).
+shard-smoke:
+	$(GO) test -run TestShardSmoke -count=1 .
+
 # Docs drift gate: every json counter tag in obs must appear in the
 # docs/OBSERVABILITY.md tables, and every tag the tables document must
 # exist in the code (see telemetry_test.go).
@@ -76,7 +84,7 @@ drift:
 # recovery invariants) under -race, plus the durability-layer unit tests
 # (snapshot format, fault sites, robust client).
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos' . ./internal/serve
+	$(GO) test -race -count=1 -run 'Chaos' . ./internal/serve ./internal/shard ./internal/serve/coord
 	$(GO) test -race -count=1 ./internal/snapshot ./internal/fault ./internal/serve/client
 
 # Each fuzz target needs its own invocation: go test allows one -fuzz

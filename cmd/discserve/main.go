@@ -37,6 +37,13 @@
 // source. /readyz answers 503 until the replay completes. -fault installs
 // deterministic fault injection (errors, latency, panics at named sites)
 // for chaos testing; see docs/SERVING.md "Durability & recovery".
+//
+// With -coordinator -workers=<url,url,...>, the process serves the same
+// API as a scatter/gather front over a fleet of worker discserve
+// instances: sessions are consistent-hashed onto -replicas workers,
+// detect/repair requests scatter in chunks across the owners with
+// failover between replicas, and /varz and /metrics report the merged
+// per-shard stats; see docs/SERVING.md "Sharding & coordinator mode".
 package main
 
 import (
@@ -50,11 +57,14 @@ import (
 	_ "net/http/pprof" // registers profiling handlers for -pprof-addr
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/serve"
+	"repro/internal/serve/coord"
 )
 
 func main() {
@@ -66,7 +76,9 @@ func main() {
 		maxQueue      = flag.Int("max-queue", 256, "admission queue slots per session; overflow is answered 429")
 		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long a dispatch waits for co-arriving saves to coalesce")
 		maxBatch      = flag.Int("max-batch", 64, "max saves per dispatch")
-		workers       = flag.Int("workers", 0, "parallel saves per dispatch (0 = GOMAXPROCS)")
+		workers       = flag.String("workers", "0", "parallel saves per dispatch (0 = GOMAXPROCS); with -coordinator, the comma-separated worker base URLs instead")
+		coordinator   = flag.Bool("coordinator", false, "run as a coordinator over the worker fleet named by -workers (no local sessions)")
+		replicas      = flag.Int("replicas", 0, "coordinator: workers owning each session (0 = min(2, workers))")
 		requestBudget = flag.Duration("request-budget", 30*time.Second, "per-save deadline cap; client timeout_ms cannot exceed it")
 		maxUpload     = flag.Int64("max-upload", 64<<20, "max request body bytes, dataset uploads included")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "max time to finish admitted work on shutdown")
@@ -92,6 +104,15 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
+	if *coordinator {
+		runCoordinator(log, *addr, *workers, *replicas, *requestBudget, *maxUpload, *drainTimeout)
+		return
+	}
+	saveWorkers, err := strconv.Atoi(*workers)
+	if err != nil {
+		fatal(fmt.Errorf("bad -workers %q: an integer outside -coordinator mode", *workers))
+	}
+
 	srv := serve.New(serve.Config{
 		MaxSessions:   *maxSessions,
 		MaxBytes:      *maxBytes,
@@ -99,7 +120,7 @@ func main() {
 		MaxQueue:      *maxQueue,
 		BatchWindow:   *batchWindow,
 		MaxBatch:      *maxBatch,
-		Workers:       *workers,
+		Workers:       saveWorkers,
 		RequestBudget: *requestBudget,
 		MaxBodyBytes:  *maxUpload,
 		SlowRequest:   *slowRequest,
@@ -165,6 +186,62 @@ func main() {
 		hs.Close()
 		os.Exit(1)
 	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "discserve: closing listener: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "discserve: drained")
+}
+
+// runCoordinator serves the scatter/gather front over a worker fleet. It
+// prints the same listen/drain lines as single-node mode so scripts (and
+// the smoke test) drive both identically.
+func runCoordinator(log *slog.Logger, addr, workerList string, replicas int,
+	requestBudget time.Duration, maxUpload int64, drainTimeout time.Duration) {
+	var urls []string
+	for _, u := range strings.Split(workerList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	co, err := coord.New(coord.Config{
+		Workers:        urls,
+		Replicas:       replicas,
+		RequestTimeout: requestBudget,
+		MaxBodyBytes:   maxUpload,
+		Logger:         log,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "discserve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "discserve: coordinating %d workers\n", len(urls))
+
+	hs := &http.Server{
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "discserve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	co.Shutdown(dctx)
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "discserve: closing listener: %v\n", err)
 		os.Exit(1)

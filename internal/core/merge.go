@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// SavePart is one shard's contribution to a sharded save: the adjustments
+// it produced (Adjustment.Index already set to the outlier's position in
+// the ORIGINAL relation) and the outliers it failed to process. Parts
+// partition Detection.Outliers — each outlier belongs to exactly one part,
+// as an adjustment or as an error.
+type SavePart struct {
+	Adjustments []Adjustment
+	Errs        []SaveError
+}
+
+// ComposeSaveResult assembles the shard-wise halves of a save into one
+// SaveResult with exactly the accounting SaveAllContext performs on its own
+// fan-out: adjustments land in Detection.Outliers order, failed or missing
+// outliers get the zero adjustment with +Inf cost plus an Errs entry
+// (sorted by outlier index), saved outliers replace their tuples in the
+// Repaired clone, and Stats merges the detection pass with every
+// adjustment's search counters. Timings are left zero — wall-clock phases
+// belong to the orchestrator, which observed them.
+func ComposeSaveResult(rel *data.Relation, det *Detection, parts []SavePart) *SaveResult {
+	res := &SaveResult{
+		Repaired:    rel.Clone(),
+		Detection:   det,
+		Adjustments: make([]Adjustment, len(det.Outliers)),
+	}
+	res.Stats.Add(&det.Stats)
+
+	pos := make(map[int]int, len(det.Outliers))
+	for k, oi := range det.Outliers {
+		pos[oi] = k
+	}
+	covered := make([]bool, len(det.Outliers))
+	failed := make([]bool, len(det.Outliers))
+	place := func(k int, adj Adjustment) {
+		res.Adjustments[k] = adj
+		covered[k] = true
+	}
+	for _, part := range parts {
+		for _, adj := range part.Adjustments {
+			k, ok := pos[adj.Index]
+			if !ok || covered[k] {
+				// A part claiming a non-outlier or an already-covered
+				// outlier is an orchestration bug; surface it as a failure
+				// rather than silently double-counting.
+				res.Errs = append(res.Errs, SaveError{Index: adj.Index,
+					Err: fmt.Errorf("core: shard adjustment for unexpected outlier %d", adj.Index)})
+				continue
+			}
+			place(k, adj)
+		}
+		for _, se := range part.Errs {
+			k, ok := pos[se.Index]
+			if !ok || covered[k] {
+				res.Errs = append(res.Errs, SaveError{Index: se.Index,
+					Err: fmt.Errorf("core: shard error for unexpected outlier %d: %w", se.Index, se.Err)})
+				continue
+			}
+			place(k, Adjustment{Index: se.Index, Cost: math.Inf(1)})
+			failed[k] = true
+			res.Errs = append(res.Errs, se)
+		}
+	}
+	for k, oi := range det.Outliers {
+		if !covered[k] {
+			place(k, Adjustment{Index: oi, Cost: math.Inf(1)})
+			failed[k] = true
+			res.Errs = append(res.Errs, SaveError{Index: oi,
+				Err: fmt.Errorf("core: outlier %d not processed by any shard", oi)})
+		}
+	}
+	sort.Slice(res.Errs, func(i, j int) bool { return res.Errs[i].Index < res.Errs[j].Index })
+
+	for k := range res.Adjustments {
+		adj := &res.Adjustments[k]
+		res.Stats.Add(&adj.Stats)
+		if adj.Exhausted {
+			res.Exhausted++
+		}
+		switch {
+		case failed[k]:
+			// Not processed: neither saved nor natural.
+		case adj.Saved():
+			res.Repaired.Tuples[adj.Index] = adj.Tuple.Clone()
+			res.Saved++
+		case adj.Natural:
+			res.Natural++
+		}
+	}
+	return res
+}

@@ -50,6 +50,14 @@ const (
 	// BatchDispatch fires inside the batcher's per-request worker, before
 	// the save runs.
 	BatchDispatch = "batch.dispatch"
+	// ShardDispatch fires once per shard (engine) or per scattered chunk
+	// (coordinator) before its work runs: an error kills that shard's leg
+	// of the fan-out, a sleep delays it mid-scatter — the two degradation
+	// modes the shard chaos suite drives.
+	ShardDispatch = "shard.dispatch"
+	// ShardMerge fires after the per-shard legs return, before their
+	// results are merged into the global answer.
+	ShardMerge = "shard.merge"
 )
 
 // ErrInjected is the base of every injected error; match with errors.Is.

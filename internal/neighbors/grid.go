@@ -1,9 +1,6 @@
 package neighbors
 
 import (
-	"math"
-	"math/bits"
-
 	"repro/internal/data"
 )
 
@@ -28,14 +25,14 @@ import (
 type Grid struct {
 	r    *data.Relation
 	kern *data.Kernel
-	cell float64
-	m    int
-	// packed selects the uint64-key layout; minC/maxC/shift describe the
-	// per-dimension bit fields.
+	// key owns the cell-keying layout (coordinates, packed bit fields,
+	// reach); cell/m/packed are hot-path copies of its fields. The keyer is
+	// also what the spatial partitioner shares (see CellKeyOf), so grid and
+	// partitioner can never disagree on which cell a tuple lands in.
+	key      *CellKeyer
+	cell     float64
+	m        int
 	packed   bool
-	minC     []int
-	maxC     []int
-	shift    []uint
 	cells    map[uint64][]int
 	cellsStr map[string][]int
 	// brute is the pre-built fallback for queries whose cell cube would
@@ -74,47 +71,15 @@ func NewGrid(r *data.Relation, cell float64) *Grid {
 // Mutable wrapper keeps one kernel — and its text caches — alive across
 // delta merges).
 func newGridKernel(r *data.Relation, kern *data.Kernel, cell float64) *Grid {
-	if cell <= 0 {
-		cell = 1
+	// The keyer's sizing pass doubles as the insertion pass's coordinate
+	// source, so building through it costs no extra scan.
+	key, coords := newCellKeyer(r, cell)
+	g := &Grid{
+		r: r, kern: kern, key: key,
+		cell: key.cell, m: key.m, packed: key.packed,
+		brute: newBruteKernel(r, kern),
 	}
-	g := &Grid{r: r, kern: kern, cell: cell, m: r.Schema.M(), brute: newBruteKernel(r, kern)}
-
-	// One pass for the coordinates, so the key layout can be sized to the
-	// build-time ranges before insertion.
 	n := r.N()
-	coords := make([]int, n*g.m)
-	g.minC, g.maxC = make([]int, g.m), make([]int, g.m)
-	for a := 0; a < g.m; a++ {
-		g.minC[a], g.maxC[a] = 0, -1 // empty range until a tuple lands
-	}
-	for i, t := range r.Tuples {
-		for a := 0; a < g.m; a++ {
-			c := g.coord(t, a)
-			coords[i*g.m+a] = c
-			if i == 0 || c < g.minC[a] {
-				g.minC[a] = c
-			}
-			if i == 0 || c > g.maxC[a] {
-				g.maxC[a] = c
-			}
-		}
-	}
-	g.packed = g.m <= gridStackDims
-	if g.packed {
-		g.shift = make([]uint, g.m)
-		total := uint(0)
-		for a := 0; a < g.m && g.packed; a++ {
-			g.shift[a] = total
-			span := uint64(0)
-			if n > 0 {
-				span = uint64(g.maxC[a] - g.minC[a])
-			}
-			total += uint(bits.Len64(span))
-			if total > 64 {
-				g.packed = false
-			}
-		}
-	}
 	if g.packed {
 		g.cells = make(map[uint64][]int)
 		for i := 0; i < n; i++ {
@@ -141,13 +106,7 @@ func newGridKernel(r *data.Relation, kern *data.Kernel, cell float64) *Grid {
 // such a cell held no tuples at build time, so probes skip it (this
 // range guard is what makes the packing collision-free).
 func (g *Grid) packKey(c []int) (key uint64, ok bool) {
-	for a := 0; a < g.m; a++ {
-		if c[a] < g.minC[a] || c[a] > g.maxC[a] {
-			return 0, false
-		}
-		key |= uint64(c[a]-g.minC[a]) << g.shift[a]
-	}
-	return key, true
+	return g.key.PackKey(c)
 }
 
 // insert adds physical row i — already appended to the relation and the
@@ -197,13 +156,7 @@ func (g *Grid) Kernel() *data.Kernel { return g.kern }
 
 // coord returns the scaled grid coordinate of attribute a of tuple t; the
 // grid must bucket by the same scaled units the distance uses.
-func (g *Grid) coord(t data.Tuple, a int) int {
-	v := t[a].Num
-	if s := g.r.Schema.Attrs[a].Scale; s > 0 {
-		v /= s
-	}
-	return int(math.Floor(v / g.cell))
-}
+func (g *Grid) coord(t data.Tuple, a int) int { return g.key.Coord(t, a) }
 
 // appendCoord appends the fixed-width little-endian encoding of one grid
 // coordinate; fixed-width string keys make cheap map keys without a 64-bit
@@ -278,9 +231,7 @@ func (g *Grid) visit(q data.Tuple, reach int, fn func(idx []int) bool) {
 }
 
 // reach converts a query radius into the cell reach of the visited cube.
-func (g *Grid) reach(eps float64) int {
-	return int(math.Ceil(eps/g.cell)) + 1
-}
+func (g *Grid) reach(eps float64) int { return g.key.Reach(eps) }
 
 // tooWide reports whether a query radius spans so many cells that the
 // odometer walk would visit more cells than a brute scan costs.

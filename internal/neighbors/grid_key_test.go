@@ -33,9 +33,9 @@ func TestGridPackedKeyCollisionSafety(t *testing.T) {
 	// Exhaustive bijectivity over the in-range coordinate box.
 	seen := make(map[uint64][3]int)
 	c := make([]int, 3)
-	for c[0] = g.minC[0]; c[0] <= g.maxC[0]; c[0]++ {
-		for c[1] = g.minC[1]; c[1] <= g.maxC[1]; c[1]++ {
-			for c[2] = g.minC[2]; c[2] <= g.maxC[2]; c[2]++ {
+	for c[0] = g.key.minC[0]; c[0] <= g.key.maxC[0]; c[0]++ {
+		for c[1] = g.key.minC[1]; c[1] <= g.key.maxC[1]; c[1]++ {
+			for c[2] = g.key.minC[2]; c[2] <= g.key.maxC[2]; c[2]++ {
 				key, ok := g.packKey(c)
 				if !ok {
 					t.Fatalf("in-range cell %v rejected", c)
@@ -51,13 +51,13 @@ func TestGridPackedKeyCollisionSafety(t *testing.T) {
 	// Out-of-range probes must be rejected, never aliased into the box.
 	for trial := 0; trial < 200; trial++ {
 		for a := range c {
-			c[a] = g.minC[a] + rng.Intn(g.maxC[a]-g.minC[a]+1)
+			c[a] = g.key.minC[a] + rng.Intn(g.key.maxC[a]-g.key.minC[a]+1)
 		}
 		a := rng.Intn(3)
 		if rng.Intn(2) == 0 {
-			c[a] = g.minC[a] - 1 - rng.Intn(1<<20)
+			c[a] = g.key.minC[a] - 1 - rng.Intn(1<<20)
 		} else {
-			c[a] = g.maxC[a] + 1 + rng.Intn(1<<20)
+			c[a] = g.key.maxC[a] + 1 + rng.Intn(1<<20)
 		}
 		if _, ok := g.packKey(c); ok {
 			t.Fatalf("out-of-range cell %v accepted", c)

@@ -1,0 +1,58 @@
+package obs
+
+import "sync/atomic"
+
+// CoordStats counts what a coordinator's scatter/gather machinery did
+// across its proxied requests. Like ClientStats these sit on concurrent
+// handler paths, so they are atomics rather than per-worker shards.
+type CoordStats struct {
+	// Scatters counts scatter/gather operations (one per proxied detect or
+	// repair request); ScatterChunks counts the per-worker chunks they
+	// fanned out.
+	Scatters      atomic.Int64
+	ScatterChunks atomic.Int64
+	// Failovers counts chunks (or single-tuple calls) that a replica owner
+	// answered after the preferred owner failed.
+	Failovers atomic.Int64
+	// ChunkFailures counts chunks lost after every owner failed — the
+	// partial-result degradations visible to callers.
+	ChunkFailures atomic.Int64
+	// PartialResponses counts responses served with at least one lost
+	// chunk or owner (HTTP 200/206-style degradation instead of an error).
+	PartialResponses atomic.Int64
+	// WorkerErrors counts individual worker call failures, before
+	// failover.
+	WorkerErrors atomic.Int64
+	// PlacementsCreated counts sessions placed onto workers;
+	// PlacementsDegraded counts placements created with fewer live owners
+	// than the replication factor asked for.
+	PlacementsCreated  atomic.Int64
+	PlacementsDegraded atomic.Int64
+}
+
+// CoordSnapshot is a point-in-time copy of CoordStats for /varz.
+type CoordSnapshot struct {
+	Scatters           int64 `json:"scatters"`
+	ScatterChunks      int64 `json:"scatter_chunks"`
+	Failovers          int64 `json:"failovers"`
+	ChunkFailures      int64 `json:"chunk_failures"`
+	PartialResponses   int64 `json:"partial_responses"`
+	WorkerErrors       int64 `json:"worker_errors"`
+	PlacementsCreated  int64 `json:"placements_created"`
+	PlacementsDegraded int64 `json:"placements_degraded"`
+}
+
+// Snapshot copies the counters (individually atomic, not mutually
+// consistent — fine for monitoring).
+func (c *CoordStats) Snapshot() CoordSnapshot {
+	return CoordSnapshot{
+		Scatters:           c.Scatters.Load(),
+		ScatterChunks:      c.ScatterChunks.Load(),
+		Failovers:          c.Failovers.Load(),
+		ChunkFailures:      c.ChunkFailures.Load(),
+		PartialResponses:   c.PartialResponses.Load(),
+		WorkerErrors:       c.WorkerErrors.Load(),
+		PlacementsCreated:  c.PlacementsCreated.Load(),
+		PlacementsDegraded: c.PlacementsDegraded.Load(),
+	}
+}

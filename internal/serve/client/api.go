@@ -90,6 +90,44 @@ func (c *Client) CreateDatasetCSV(ctx context.Context, name, csv string, p Param
 	return &info, nil
 }
 
+// CreateDatasetRaw uploads an already-encoded dataset-creation body without
+// re-encoding it: contentType and body are forwarded verbatim, and rawQuery
+// (when non-empty) is appended as the query string — the pass-through a
+// coordinator needs to fan one upload out to its worker owners while
+// preserving the exact bytes and build parameters the caller sent.
+func (c *Client) CreateDatasetRaw(ctx context.Context, contentType, rawQuery string, body []byte) (*serve.SessionInfo, error) {
+	path := "/v1/datasets"
+	if rawQuery != "" {
+		path += "?" + rawQuery
+	}
+	var info serve.SessionInfo
+	if err := c.doBytes(ctx, http.MethodPost, path, contentType, body, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Session fetches one session's info snapshot.
+func (c *Client) Session(ctx context.Context, id string) (*serve.SessionInfo, error) {
+	var info serve.SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// SaveTuple saves one outlier tuple against the session (the single-tuple
+// /save endpoint).
+func (c *Client) SaveTuple(ctx context.Context, id string, tuple []any, timeoutMS int) (*Adjustment, error) {
+	var adj Adjustment
+	err := c.do(ctx, http.MethodPost, "/v1/datasets/"+url.PathEscape(id)+"/save",
+		mutateRequest{Tuple: tuple, TimeoutMS: timeoutMS}, &adj)
+	if err != nil {
+		return nil, err
+	}
+	return &adj, nil
+}
+
 // Detect screens tuples against the session's cached index. member declares
 // the tuples to be rows of the session's own dataset, excluding each one's
 // stored copy from its neighbor count.

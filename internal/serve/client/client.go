@@ -201,20 +201,28 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do runs one logical request: marshal, attempt with per-attempt timeout,
-// retry retryable failures with backoff, decode into out (unless nil).
+// do runs one logical JSON request: marshal in, then hand the bytes to
+// doBytes.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	c.cfg.Stats.Requests.Add(1)
-	if !c.breakerAllow() {
-		c.cfg.Stats.BreakerOpen.Add(1)
-		return fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
-	}
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
+	}
+	return c.doBytes(ctx, method, path, "application/json", body, out)
+}
+
+// doBytes runs one logical request from an already-encoded body: attempt
+// with per-attempt timeout, retry retryable failures with backoff, decode
+// the response into out (unless nil). It is the raw-body surface a
+// coordinator forwards uploads through without re-encoding them.
+func (c *Client) doBytes(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	c.cfg.Stats.Requests.Add(1)
+	if !c.breakerAllow() {
+		c.cfg.Stats.BreakerOpen.Add(1)
+		return fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
 	}
 	// One request id per logical call, reused across every retry attempt:
 	// the server logs each attempt under the same id, so its request log
@@ -226,7 +234,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable, wait := c.attempt(ctx, method, path, reqID, body, out)
+		err, retryable, wait := c.attempt(ctx, method, path, reqID, contentType, body, out)
 		if err == nil {
 			c.breakerResult(true)
 			return nil
@@ -258,7 +266,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 
 // attempt runs one HTTP exchange. It returns the failure's retryability and
 // the server-requested wait (from Retry-After), when any.
-func (c *Client) attempt(ctx context.Context, method, path, reqID string, body []byte, out any) (err error, retryable bool, wait time.Duration) {
+func (c *Client) attempt(ctx context.Context, method, path, reqID, contentType string, body []byte, out any) (err error, retryable bool, wait time.Duration) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -271,7 +279,7 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, body [
 	}
 	req.Header.Set("X-Request-ID", reqID)
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

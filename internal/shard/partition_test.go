@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// clusteredRelation builds a noisy clustered numeric relation: points
+// around a few centers plus uniform outliers, including exact duplicates
+// placed on cell boundaries so halo replication of equal tuples is
+// exercised.
+func clusteredRelation(n, m int, seed int64) *data.Relation {
+	names := make([]string, m)
+	for a := range names {
+		names[a] = string(rune('a' + a))
+	}
+	r := data.NewRelation(data.NewNumericSchema(names...))
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, 5)
+	for c := range centers {
+		centers[c] = make([]float64, m)
+		for a := range centers[c] {
+			centers[c][a] = rng.Float64()*20 - 10
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := make(data.Tuple, m)
+		if i%7 == 6 { // uniform noise
+			for a := 0; a < m; a++ {
+				t[a] = data.Num(rng.Float64()*40 - 20)
+			}
+		} else {
+			ct := centers[i%len(centers)]
+			for a := 0; a < m; a++ {
+				t[a] = data.Num(ct[a] + rng.NormFloat64()*0.8)
+			}
+		}
+		r.Append(t)
+	}
+	// Halo-straddling duplicates: pairs of identical tuples pinned exactly
+	// on cell-boundary coordinates (integer multiples of the ε=1 cell).
+	for k := 0; k < 8; k++ {
+		t := make(data.Tuple, m)
+		for a := 0; a < m; a++ {
+			t[a] = data.Num(float64(k%4) * 1.0)
+		}
+		r.Append(t)
+		r.Append(t.Clone())
+	}
+	return r
+}
+
+// TestSplitInvariants pins the partition contract: exclusive ownership, a
+// halo that covers every cross-shard ε-neighbor, no self-halo, and local
+// relations laid out owned-first in ascending global order.
+func TestSplitInvariants(t *testing.T) {
+	eps := 1.0
+	for _, s := range []int{1, 2, 4, 8} {
+		rel := clusteredRelation(400, 3, 41)
+		p, err := Split(rel, eps, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Fallback {
+			t.Fatalf("S=%d: numeric clustered data should not need full replication", s)
+		}
+		if len(p.Shards) != s || p.S != s {
+			t.Fatalf("S=%d: got %d shards", s, len(p.Shards))
+		}
+
+		n := rel.N()
+		owned := make([]int, n) // times each row appears as owned
+		for si, sh := range p.Shards {
+			if sh.ID != si {
+				t.Fatalf("S=%d: shard %d has ID %d", s, si, sh.ID)
+			}
+			if sh.Rel.N() != len(sh.Owned)+len(sh.Halo) {
+				t.Fatalf("S=%d shard %d: local relation has %d tuples, want %d owned + %d halo",
+					s, si, sh.Rel.N(), len(sh.Owned), len(sh.Halo))
+			}
+			inHalo := make(map[int]bool, len(sh.Halo))
+			for _, gi := range sh.Halo {
+				if p.Owner[gi] == si {
+					t.Fatalf("S=%d shard %d: halo row %d is owned by the same shard", s, si, gi)
+				}
+				if inHalo[gi] {
+					t.Fatalf("S=%d shard %d: halo row %d duplicated", s, si, gi)
+				}
+				inHalo[gi] = true
+			}
+			for k, gi := range sh.Owned {
+				owned[gi]++
+				if p.Owner[gi] != si {
+					t.Fatalf("S=%d shard %d: owns row %d but Owner says %d", s, si, gi, p.Owner[gi])
+				}
+				if k > 0 && sh.Owned[k-1] >= gi {
+					t.Fatalf("S=%d shard %d: Owned not ascending", s, si)
+				}
+				if inHalo[gi] {
+					t.Fatalf("S=%d shard %d: row %d both owned and halo", s, si, gi)
+				}
+			}
+			// Local layout: owned rows first, then halo, tuple identity
+			// shared with the source relation.
+			for k, gi := range sh.Owned {
+				if &sh.Rel.Tuples[k][0] != &rel.Tuples[gi][0] {
+					t.Fatalf("S=%d shard %d: local row %d does not alias global row %d", s, si, k, gi)
+				}
+			}
+			for k, gi := range sh.Halo {
+				if &sh.Rel.Tuples[len(sh.Owned)+k][0] != &rel.Tuples[gi][0] {
+					t.Fatalf("S=%d shard %d: halo row %d does not alias global row %d", s, si, k, gi)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if owned[i] != 1 {
+				t.Fatalf("S=%d: row %d owned %d times", s, i, owned[i])
+			}
+		}
+		if s == 1 && len(p.Shards[0].Halo) != 0 {
+			t.Fatalf("S=1 should have no halo, got %d rows", len(p.Shards[0].Halo))
+		}
+
+		// Halo sufficiency: every ε-neighbor of an owned row is present in
+		// the shard's local relation (the exactness precondition), checked
+		// against the O(n²) ground truth.
+		for si, sh := range p.Shards {
+			present := make(map[int]bool, sh.Rel.N())
+			for _, gi := range sh.Owned {
+				present[gi] = true
+			}
+			for _, gi := range sh.Halo {
+				present[gi] = true
+			}
+			for _, gi := range sh.Owned {
+				for j := 0; j < n; j++ {
+					if j == gi {
+						continue
+					}
+					if rel.Schema.Dist(rel.Tuples[gi], rel.Tuples[j]) <= eps && !present[j] {
+						t.Fatalf("S=%d shard %d: row %d is within ε of owned row %d but missing",
+							s, si, j, gi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitFallback pins the two degradations: text schemas (no cell
+// coordinates) and halo cubes wider than the relation.
+func TestSplitFallback(t *testing.T) {
+	check := func(t *testing.T, rel *data.Relation, eps float64) {
+		t.Helper()
+		const s = 3
+		p, err := Split(rel, eps, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Fallback {
+			t.Fatal("expected full-replication fallback")
+		}
+		n := rel.N()
+		seen := 0
+		for si, sh := range p.Shards {
+			if sh.Rel.N() != n {
+				t.Fatalf("shard %d sees %d of %d tuples", si, sh.Rel.N(), n)
+			}
+			seen += len(sh.Owned)
+			for _, gi := range sh.Owned {
+				if p.Owner[gi] != si {
+					t.Fatalf("shard %d: owner mismatch on %d", si, gi)
+				}
+			}
+		}
+		if seen != n {
+			t.Fatalf("shards own %d of %d rows", seen, n)
+		}
+	}
+
+	t.Run("text-schema", func(t *testing.T) {
+		sch := &data.Schema{Attrs: []data.Attribute{
+			{Name: "x", Kind: data.Numeric},
+			{Name: "city", Kind: data.Text},
+		}}
+		rel := data.NewRelation(sch)
+		for i := 0; i < 30; i++ {
+			rel.Append(data.Tuple{data.Num(float64(i)), data.Str("c")})
+		}
+		check(t, rel, 1)
+	})
+
+	t.Run("cube-too-wide", func(t *testing.T) {
+		// ε spanning hundreds of cells per dimension: (2·reach+1)^m blows
+		// past n and the partitioner must not pay the cube walk.
+		rel := clusteredRelation(60, 3, 43)
+		check(t, rel, 0.001)
+	})
+}
+
+// TestSplitRejectsBadShardCount pins the argument contract.
+func TestSplitRejectsBadShardCount(t *testing.T) {
+	rel := clusteredRelation(10, 2, 47)
+	if _, err := Split(rel, 1, 0); err == nil {
+		t.Fatal("Split accepted S=0")
+	}
+}

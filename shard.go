@@ -1,0 +1,65 @@
+package disc
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// Sharded execution: the relation is split into S spatial shards by grid
+// cell key, each shard carrying an ε-halo of replicated boundary tuples
+// (countable as neighbors, never owned), so per-shard detection composes
+// into exactly the single-node answer; saves run against the shared
+// inlier set, so repairs are bit-exact too. See internal/shard for the
+// exactness argument.
+type (
+	// ShardOptions tunes a sharded run: the shard count, the per-shard
+	// index kind, and the save options (whose Workers bounds the shard
+	// fan-out).
+	ShardOptions = shard.Options
+	// ShardStats is one shard's share of a run: sizes, outliers, merged
+	// search counters, per-phase wall time, and its error if it was lost.
+	ShardStats = shard.ShardStats
+	// ShardEngine runs detection and repair shard-parallel.
+	ShardEngine = shard.Engine
+	// ShardPartition is the ownership map: every tuple has exactly one
+	// owning shard plus the halo replicas near shard boundaries.
+	ShardPartition = shard.Partition
+)
+
+// MergeShardStats folds per-shard search counters into one run-level
+// SearchStats, the same merge the engine applies to Detection.Stats.
+func MergeShardStats(stats []ShardStats) obs.SearchStats {
+	return shard.MergeShardStats(stats)
+}
+
+// NewShardEngine partitions rel into opts.Shards ε-halo shards and
+// returns the engine that runs detection and repair over them.
+func NewShardEngine(rel *Relation, cons Constraints, opts ShardOptions) (*ShardEngine, error) {
+	return shard.New(rel, cons, opts)
+}
+
+// DetectSharded runs DISC detection shard-parallel. The Detection is
+// bit-exact with DetectContext on the same relation; the ShardStats
+// break the work down by shard. Detection fails closed: any lost shard
+// fails the run (a partial detection would misclassify tuples).
+func DetectSharded(ctx context.Context, rel *Relation, cons Constraints, opts ShardOptions) (*Detection, []ShardStats, error) {
+	eng, err := shard.New(rel, cons, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng.Detect(ctx)
+}
+
+// SaveSharded runs the detect-and-repair pipeline shard-parallel. The
+// SaveResult is bit-exact with SaveContext on the same relation. Unlike
+// detection, saves degrade: a lost shard's outliers land in
+// SaveResult.Errs while every other shard's repairs stand.
+func SaveSharded(ctx context.Context, rel *Relation, cons Constraints, opts ShardOptions) (*SaveResult, []ShardStats, error) {
+	eng, err := shard.New(rel, cons, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng.Save(ctx)
+}

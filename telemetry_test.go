@@ -75,7 +75,7 @@ func TestObservabilityDocsDrift(t *testing.T) {
 	var tags []string
 	for _, v := range []any{
 		obs.SearchStats{}, obs.EndpointSnapshot{},
-		obs.StoreSnapshot{}, obs.ClientSnapshot{},
+		obs.StoreSnapshot{}, obs.ClientSnapshot{}, obs.CoordSnapshot{},
 	} {
 		tags = append(tags, obs.CounterNames(v)...)
 	}
