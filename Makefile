@@ -6,13 +6,13 @@ FUZZTIME ?= 10s
 # $(BENCHKEY) (conventionally "before" at the start of a perf change and
 # "after" at the end) via cmd/benchjson, which merges rather than
 # overwrites so both snapshots survive in the committed file.
-BENCHOUT ?= BENCH_9.json
+BENCHOUT ?= BENCH_10.json
 BENCHKEY ?= after
-BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild|BenchmarkShardDetect|BenchmarkShardSave
+BENCHPAT = BenchmarkSaveSingle$$|BenchmarkDetect$$|BenchmarkCluster|BenchmarkServeSave|BenchmarkGridWithin$$|BenchmarkGridCountWithin$$|BenchmarkGridKNN$$|BenchmarkVPTreeWithin$$|BenchmarkBruteWithin$$|BenchmarkDetectMixed$$|BenchmarkSaveSingleMixed$$|BenchmarkMutateInsert|BenchmarkRedetectTouched|BenchmarkMutateRebuild|BenchmarkShardDetect|BenchmarkShardSave|BenchmarkDetectApprox|BenchmarkDetectExactLattice
 
-.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke shard-smoke chaos drift profile
+.PHONY: check build vet test race cover fuzz bench bench-check serve-smoke mutate-smoke shard-smoke approx-smoke chaos drift profile
 
-check: build vet race cover bench-check serve-smoke mutate-smoke shard-smoke chaos drift fuzz
+check: build vet race cover bench-check serve-smoke mutate-smoke shard-smoke approx-smoke chaos drift fuzz
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ mutate-smoke:
 # shard_smoke_test.go).
 shard-smoke:
 	$(GO) test -run TestShardSmoke -count=1 .
+
+# Scripted approximate-detection round-trip: build datagen and disccli,
+# stream a 48k jittered-lattice CSV, run detect-and-repair with -approx
+# and assert the emitted counters show the sampled estimator carried the
+# pass (see approx_smoke_test.go).
+approx-smoke:
+	$(GO) test -run TestApproxSmoke -count=1 .
 
 # Docs drift gate: every json counter tag in obs must appear in the
 # docs/OBSERVABILITY.md tables, and every tag the tables document must

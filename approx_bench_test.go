@@ -1,0 +1,109 @@
+package disc_test
+
+// Approximate vs exact detection on the jittered-lattice workload
+// (uniform density, closed-form neighbor geometry) at n = 64k and n ≈ 1M,
+// the BENCH_10.json suite. Both legs run against the same prebuilt index,
+// so the numbers compare pure classification cost: the exact pass pays one
+// full ε-count per tuple, the approximate pass pays a capped sampled probe
+// for the clear majority and the exact machinery only for the borderline
+// band.
+//
+//	go test -bench 'BenchmarkDetectApprox|BenchmarkDetectExactLattice' -benchmem
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	disc "repro"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/neighbors"
+)
+
+// approxBenchCons: unit ε on a unit-cell lattice; η = 20 sits far below
+// the interior density (≈ 4.19 · PerCell), so the certificates do the
+// work and the band stays thin.
+var approxBenchCons = disc.Constraints{Eps: 1, Eta: 20}
+
+// approxBenchSpecs are the two workload sizes: 10³ cells × 64 = 64k and
+// 24³ cells × 72 = 995,328 (the n ≈ 1M leg). Noise rows are isolated
+// outliers so the split is never degenerate.
+var approxBenchSpecs = []struct {
+	size string
+	spec data.LatticeSpec
+}{
+	{"n=64k", data.LatticeSpec{Side: 10, PerCell: 64, Dims: 3, Noise: 64, Seed: 41}},
+	{"n=1m", data.LatticeSpec{Side: 24, PerCell: 72, Dims: 3, Noise: 64, Seed: 43}},
+}
+
+var approxBenchState = map[string]*struct {
+	once sync.Once
+	rel  *disc.Relation
+	idx  neighbors.Index
+}{
+	"n=64k": {},
+	"n=1m":  {},
+}
+
+// approxBenchWorkload builds each size's relation and index once per
+// process; every benchmark leg then measures detection only.
+func approxBenchWorkload(b *testing.B, size string) (*disc.Relation, neighbors.Index) {
+	b.Helper()
+	st := approxBenchState[size]
+	st.once.Do(func() {
+		for _, ws := range approxBenchSpecs {
+			if ws.size != size {
+				continue
+			}
+			rel, err := data.GenLattice(ws.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.rel, st.idx = rel, neighbors.Build(rel, approxBenchCons.Eps)
+		}
+	})
+	return st.rel, st.idx
+}
+
+func benchmarkDetectLattice(b *testing.B, size string, ap core.ApproxOptions) {
+	rel, idx := approxBenchWorkload(b, size)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var det *core.Detection
+	var err error
+	for i := 0; i < b.N; i++ {
+		if ap.Enabled() {
+			det, err = core.DetectApproxContext(ctx, rel, approxBenchCons, idx, ap)
+		} else {
+			det, err = core.DetectContext(ctx, rel, approxBenchCons, idx)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(det.Outliers) == 0 || len(det.Inliers) == 0 {
+		b.Fatalf("degenerate split: %d inliers, %d outliers", len(det.Inliers), len(det.Outliers))
+	}
+	if tot := det.Stats.ApproxSampled + det.Stats.ApproxRefined; tot > 0 {
+		b.ReportMetric(float64(det.Stats.ApproxRefined)/float64(tot), "band_frac")
+	}
+}
+
+func BenchmarkDetectExactLattice(b *testing.B) {
+	for _, ws := range approxBenchSpecs {
+		b.Run(ws.size, func(b *testing.B) {
+			benchmarkDetectLattice(b, ws.size, core.ApproxOptions{})
+		})
+	}
+}
+
+func BenchmarkDetectApprox(b *testing.B) {
+	for _, ws := range approxBenchSpecs {
+		b.Run(ws.size, func(b *testing.B) {
+			benchmarkDetectLattice(b, ws.size, core.ApproxOptions{Confidence: 0.999, Seed: 1})
+		})
+	}
+}

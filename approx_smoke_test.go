@@ -1,0 +1,107 @@
+package disc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	disc "repro"
+)
+
+// TestApproxSmoke drives the CLIs end-to-end through the approximate
+// detection path: datagen streams a jittered-lattice workload to CSV,
+// disccli runs detect-and-repair over it with -approx, and the emitted
+// -stats-json must show the sampled estimator actually carried the pass —
+// a nonzero (in fact dominant) sampled fraction — with the counters
+// reconciling to one classification per tuple. Wired into `make check`
+// as the approx-smoke target.
+func TestApproxSmoke(t *testing.T) {
+	datagen := buildTool(t, "datagen")
+	disccli := buildTool(t, "disccli")
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "lattice.csv")
+	out := filepath.Join(dir, "fixed.csv")
+	statsPath := filepath.Join(dir, "stats.json")
+
+	// 10³ cells × 48 = 48k lattice rows (η = 20 well under the ≈ 201
+	// interior density) plus 8 isolated outliers, streamed to CSV.
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := exec.Command(datagen, "-lattice", "-side", "10", "-per-cell", "48", "-noise", "8", "-seed", "5")
+	gen.Stdout = f
+	var genErr bytes.Buffer
+	gen.Stderr = &genErr
+	if err := gen.Run(); err != nil {
+		t.Fatalf("datagen -lattice: %v\n%s", err, genErr.String())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := exec.Command(disccli,
+		"-in", in, "-out", out,
+		"-eps", "1", "-eta", "20",
+		"-approx",
+		"-max-nodes", "2000",
+		"-stats-json", statsPath)
+	var runErr bytes.Buffer
+	run.Stderr = &runErr
+	if err := run.Run(); err != nil {
+		t.Fatalf("disccli -approx: %v\n%s", err, runErr.String())
+	}
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Tuples   int `json:"tuples"`
+		Outliers int `json:"outliers"`
+		Stats    struct {
+			ApproxSampled     int64 `json:"approx_sampled"`
+			ApproxRefined     int64 `json:"approx_exact_refined"`
+			ApproxSampleEvals int64 `json:"approx_sample_dist_evals"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", statsPath, err)
+	}
+	if doc.Tuples != 48008 {
+		t.Fatalf("run saw %d tuples, want 48008", doc.Tuples)
+	}
+	if doc.Outliers < 8 {
+		t.Fatalf("run found %d outliers, want at least the 8 isolated noise rows", doc.Outliers)
+	}
+	st := doc.Stats
+	if st.ApproxSampled == 0 {
+		t.Fatalf("approx run certified nothing from the sample: %+v\n%s", st, runErr.String())
+	}
+	if got := st.ApproxSampled + st.ApproxRefined; got != int64(doc.Tuples) {
+		t.Fatalf("approx counters classify %d tuples, want %d", got, doc.Tuples)
+	}
+	if st.ApproxSampled < st.ApproxRefined {
+		t.Fatalf("sampled fraction not dominant: %d sampled vs %d refined", st.ApproxSampled, st.ApproxRefined)
+	}
+	if st.ApproxSampleEvals == 0 {
+		t.Fatal("sampled probes reported zero distance evaluations")
+	}
+
+	// The repaired CSV round-trips: same row count as the input.
+	fixedRaw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := disc.ReadCSV(bytes.NewReader(fixedRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.N() != doc.Tuples {
+		t.Fatalf("repaired CSV has %d rows, want %d", rel.N(), doc.Tuples)
+	}
+}

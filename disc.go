@@ -150,6 +150,38 @@ func DetectWithIndex(ctx context.Context, rel *Relation, cons Constraints, idx N
 	return core.DetectContext(ctx, rel, cons, idx)
 }
 
+// ApproxDetectOptions configure the approximate detection path: sampled
+// neighbor-count estimates with exact borderline refinement (confidence,
+// sample size policy, exact fallback floor).
+type ApproxDetectOptions = core.ApproxOptions
+
+// DefaultApproxConfidence is the certificate confidence approximate
+// detection uses when callers enable it without picking one.
+const DefaultApproxConfidence = core.DefaultApproxConfidence
+
+// DetectApprox splits a relation approximately: each tuple's ε-neighbor
+// count is estimated from a probe against a sampled sub-index, clear
+// inliers and outliers are accepted from a two-sided confidence bound (or
+// the grid cube bound), and only the borderline band pays the exact
+// counting machinery. The returned Detection is a drop-in for Detect's —
+// identical split whenever refinement is on — at a cost that grows with
+// the band, not with n. Small relations fall back to the exact pass.
+func DetectApprox(rel *Relation, cons Constraints, ap ApproxDetectOptions) (*Detection, error) {
+	return core.DetectApprox(rel, cons, nil, ap)
+}
+
+// DetectApproxContext is DetectApprox with cancellation.
+func DetectApproxContext(ctx context.Context, rel *Relation, cons Constraints, ap ApproxDetectOptions) (*Detection, error) {
+	return core.DetectApproxContext(ctx, rel, cons, nil, ap)
+}
+
+// DetectApproxWithIndex is DetectApproxContext against a caller-supplied
+// index over rel (the session-caching counterpart of DetectWithIndex); the
+// sampled sub-index is still built internally per call.
+func DetectApproxWithIndex(ctx context.Context, rel *Relation, cons Constraints, idx NeighborIndex, ap ApproxDetectOptions) (*Detection, error) {
+	return core.DetectApproxContext(ctx, rel, cons, idx, ap)
+}
+
 // RehydrateDetection reconstructs a Detection from persisted neighbor
 // counts and the resolved η, re-deriving the inlier/outlier split without
 // re-running the counting pass. It exists for durable session stores that

@@ -135,7 +135,7 @@ func OPTICS(rel *data.Relation, cfg OPTICSConfig) OPTICSResult {
 	for _, i := range order {
 		if reach[i] > extract {
 			// Core at the extraction radius? Then it seeds a cluster.
-			if idx.CountWithin(rel.Tuples[i], extract, i, cfg.MinPts) >= cfg.MinPts {
+			if neighbors.CountWithinAtLeast(idx, rel.Tuples[i], extract, i, cfg.MinPts) {
 				cluster++
 				labels[i] = cluster
 			} else {

@@ -133,7 +133,7 @@ func (e *ExactSaver) SaveContext(ctx context.Context, to data.Tuple) Adjustment 
 			found := false
 			for _, nb := range nn {
 				t := e.rel.Tuples[nb.Idx]
-				if e.idx.CountWithin(t, e.cons.Eps, nb.Idx, e.cons.Eta) >= e.cons.Eta {
+				if neighbors.CountWithinAtLeast(e.idx, t, e.cons.Eps, nb.Idx, e.cons.Eta) {
 					best = Adjustment{
 						Index:    -1,
 						Tuple:    t.Clone(),
@@ -161,7 +161,7 @@ func (e *ExactSaver) SaveContext(ctx context.Context, to data.Tuple) Adjustment 
 		}
 		if a == m {
 			cost := sch.Norm.Finish(acc)
-			if e.idx.CountWithin(cur, e.cons.Eps, -1, e.cons.Eta) >= e.cons.Eta {
+			if neighbors.CountWithinAtLeast(e.idx, cur, e.cons.Eps, -1, e.cons.Eta) {
 				best = Adjustment{
 					Index:    -1,
 					Tuple:    cur.Clone(),

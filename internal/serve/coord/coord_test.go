@@ -301,8 +301,8 @@ func TestCoordinatorFailoverAfterWorkerLoss(t *testing.T) {
 
 	// /varz reports the placement degraded, with merged per-owner stats.
 	var varz struct {
-		Coord      obs.CoordSnapshot                `json:"coord"`
-		Workers    map[string]obs.ClientSnapshot    `json:"workers"`
+		Coord      obs.CoordSnapshot             `json:"coord"`
+		Workers    map[string]obs.ClientSnapshot `json:"workers"`
 		Placements []struct {
 			ID     string `json:"id"`
 			Owners []struct {

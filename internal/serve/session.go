@@ -49,11 +49,17 @@ type BuildParams struct {
 	// Index names the neighbor index kind ("" or "auto" picks one; see
 	// disc.ParseIndexKind for the wire names).
 	Index string
+	// Approx switches the session's build-time detection to the sampled
+	// estimator with exact borderline refinement (disc.DetectApprox);
+	// ApproxConfidence tunes its certificate confidence (0 picks the
+	// default). Warm /detect requests answer from cached counts either way.
+	Approx           bool
+	ApproxConfidence float64
 }
 
 // key canonicalizes the params for load-by-path deduplication.
 func (p BuildParams) key(path string) string {
-	return fmt.Sprintf("%s|%g|%d|%d|%d|%d|%s", path, p.Eps, p.Eta, p.Kappa, p.MaxNodes, p.Seed, p.Index)
+	return fmt.Sprintf("%s|%g|%d|%d|%d|%d|%s|%t|%g", path, p.Eps, p.Eta, p.Kappa, p.MaxNodes, p.Seed, p.Index, p.Approx, p.ApproxConfidence)
 }
 
 // Session is one cached dataset: the relation, its detection split, the
@@ -211,34 +217,39 @@ func (s *Session) addStats(st *obs.SearchStats, saves, detects int64) {
 
 // SessionInfo is the JSON view of a session.
 type SessionInfo struct {
-	ID          string                 `json:"id"`
-	Name        string                 `json:"name"`
-	Tuples      int                    `json:"tuples"`
-	Attrs       int                    `json:"attrs"`
-	Eps         float64                `json:"eps"`
-	Eta         int                    `json:"eta"`
-	Kappa       int                    `json:"kappa"`
-	Inliers     int                    `json:"inliers"`
-	Outliers    int                    `json:"outliers"`
-	Bytes       int64                  `json:"bytes"`
-	IndexBuilds int64                  `json:"index_builds"`
-	Saves       int64                  `json:"saves"`
-	Detects     int64                  `json:"detects"`
-	Batches     int64                  `json:"batches"`
-	QueueDepth  int                    `json:"queue_depth"`
-	Recovered   bool                   `json:"recovered"`
-	Index       string                 `json:"index"`
-	Inserted    int64                  `json:"tuples_inserted"`
-	Updated     int64                  `json:"tuples_updated"`
-	Deleted     int64                  `json:"tuples_deleted"`
-	Redetect    int64                  `json:"redetect_touched"`
-	DeltaMerges int64                  `json:"delta_merges"`
-	Compactions int64                  `json:"compactions"`
-	CreatedAt   time.Time              `json:"created_at"`
-	LastUsedAt  time.Time              `json:"last_used_at"`
-	Stats       obs.SearchStats        `json:"stats"`
-	Timings     obs.PhaseTimings       `json:"timings"`
-	Hists       obs.ServeHistsSnapshot `json:"hists"`
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Tuples      int     `json:"tuples"`
+	Attrs       int     `json:"attrs"`
+	Eps         float64 `json:"eps"`
+	Eta         int     `json:"eta"`
+	Kappa       int     `json:"kappa"`
+	Inliers     int     `json:"inliers"`
+	Outliers    int     `json:"outliers"`
+	Bytes       int64   `json:"bytes"`
+	IndexBuilds int64   `json:"index_builds"`
+	Saves       int64   `json:"saves"`
+	Detects     int64   `json:"detects"`
+	Batches     int64   `json:"batches"`
+	QueueDepth  int     `json:"queue_depth"`
+	Recovered   bool    `json:"recovered"`
+	Index       string  `json:"index"`
+	Inserted    int64   `json:"tuples_inserted"`
+	Updated     int64   `json:"tuples_updated"`
+	Deleted     int64   `json:"tuples_deleted"`
+	Redetect    int64   `json:"redetect_touched"`
+	DeltaMerges int64   `json:"delta_merges"`
+	Compactions int64   `json:"compactions"`
+	// ApproxBandFrac is the borderline-band fraction of the approximate
+	// detection passes served so far: exact refinements over all
+	// approx-classified tuples (0 when the session never ran approximate
+	// detection). The speed win is roughly 1 − band fraction.
+	ApproxBandFrac float64                `json:"approx_band_frac"`
+	CreatedAt      time.Time              `json:"created_at"`
+	LastUsedAt     time.Time              `json:"last_used_at"`
+	Stats          obs.SearchStats        `json:"stats"`
+	Timings        obs.PhaseTimings       `json:"timings"`
+	Hists          obs.ServeHistsSnapshot `json:"hists"`
 }
 
 // Info snapshots the session.
@@ -247,6 +258,10 @@ func (s *Session) Info() SessionInfo {
 	defer s.stateMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	bandFrac := 0.0
+	if tot := s.stats.ApproxSampled + s.stats.ApproxRefined; tot > 0 {
+		bandFrac = float64(s.stats.ApproxRefined) / float64(tot)
+	}
 	return SessionInfo{
 		ID: s.ID, Name: s.Name,
 		Tuples: s.relMut.Live(), Attrs: s.Rel.Schema.M(),
@@ -260,10 +275,11 @@ func (s *Session) Info() SessionInfo {
 		Recovered:  s.Recovered,
 		Index:      s.relMut.Kind().String(),
 		Inserted:   s.mstats.inserted, Updated: s.mstats.updated, Deleted: s.mstats.deleted,
-		Redetect:    s.mstats.redetectTouched,
-		DeltaMerges: s.relMut.Merges() + s.Saver.Mutable().Merges(),
-		Compactions: s.mstats.compactions,
-		CreatedAt:   s.Created, LastUsedAt: s.lastUsed,
+		Redetect:       s.mstats.redetectTouched,
+		DeltaMerges:    s.relMut.Merges() + s.Saver.Mutable().Merges(),
+		Compactions:    s.mstats.compactions,
+		ApproxBandFrac: bandFrac,
+		CreatedAt:      s.Created, LastUsedAt: s.lastUsed,
 		Stats: s.stats, Timings: s.Timings,
 		Hists: s.hists.Snapshot(),
 	}
@@ -345,7 +361,13 @@ func buildSession(ctx context.Context, id, name, key, source string, rel *disc.R
 		return nil, fmt.Errorf("serve: indexing %q: %w", name, err)
 	}
 	detIdxBuild := time.Since(t0)
-	det, err := disc.DetectWithIndex(ctx, rel, cons, relMut)
+	var det *disc.Detection
+	if p.Approx || cfg.ApproxDefault {
+		det, err = disc.DetectApproxWithIndex(ctx, rel, cons, relMut,
+			disc.ApproxDetectOptions{Confidence: p.ApproxConfidence, Seed: p.Seed})
+	} else {
+		det, err = disc.DetectWithIndex(ctx, rel, cons, relMut)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: detecting over %q: %w", name, err)
 	}

@@ -60,7 +60,8 @@ func (st *Store) persist(s *Session) error {
 		Params: snapshot.Params{
 			Eps: s.Params.Eps, Eta: s.Params.Eta, Kappa: s.Params.Kappa,
 			MaxNodes: s.Params.MaxNodes, Seed: s.Params.Seed,
-			Index: s.Params.Index,
+			Index:  s.Params.Index,
+			Approx: s.Params.Approx, ApproxConfidence: s.Params.ApproxConfidence,
 		},
 		Eps: s.Cons.Eps, Eta: s.Cons.Eta,
 		Rel: rel, Counts: counts,
@@ -209,7 +210,8 @@ func (r *Registry) rebuildFromHint(ctx context.Context, hint *snapshot.Hint) {
 	p := BuildParams{
 		Eps: hint.Params.Eps, Eta: hint.Params.Eta, Kappa: hint.Params.Kappa,
 		MaxNodes: hint.Params.MaxNodes, Seed: hint.Params.Seed,
-		Index: hint.Params.Index,
+		Index:  hint.Params.Index,
+		Approx: hint.Params.Approx, ApproxConfidence: hint.Params.ApproxConfidence,
 	}
 	s, err := r.buildFromPath(ctx, hint.ID, hint.SourcePath, hint.Key, p)
 	if err != nil {
@@ -270,7 +272,8 @@ func (r *Registry) rehydrate(ctx context.Context, snap *snapshot.Snapshot) (*Ses
 		Params: BuildParams{
 			Eps: snap.Params.Eps, Eta: snap.Params.Eta, Kappa: snap.Params.Kappa,
 			MaxNodes: snap.Params.MaxNodes, Seed: snap.Params.Seed,
-			Index: snap.Params.Index,
+			Index:  snap.Params.Index,
+			Approx: snap.Params.Approx, ApproxConfidence: snap.Params.ApproxConfidence,
 		},
 		Rel: snap.Rel, Cons: cons, Kappa: snap.Params.Kappa,
 		Det: det, RelIdx: relMut, relMut: relMut, Saver: saver,

@@ -85,6 +85,11 @@ type Params struct {
 	// mutable sessions; the lenient payload decode keeps snapshots
 	// written before the field readable.
 	Index string `json:"index,omitempty"`
+	// Approx and ApproxConfidence request approximate detection on a
+	// rebuild-from-source (the counts in the payload already reflect it).
+	// Additive like Index: older snapshots decode with both zero.
+	Approx           bool    `json:"approx,omitempty"`
+	ApproxConfidence float64 `json:"approx_confidence,omitempty"`
 }
 
 // Hint is the identity section, readable independently of the payload.

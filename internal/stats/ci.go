@@ -1,0 +1,40 @@
+package stats
+
+import "math"
+
+// ZForConfidence returns the two-sided normal critical value z for the given
+// confidence level: P(|Z| ≤ z) = conf for a standard normal Z. Confidences
+// outside (0, 1) clamp to a conservative 0.999.
+func ZForConfidence(conf float64) float64 {
+	if conf <= 0 || conf >= 1 {
+		conf = 0.999
+	}
+	return Normal{Mu: 0, Sigma: 1}.Quantile(1 - (1-conf)/2)
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial proportion
+// after observing x successes in n trials at critical value z. Unlike the
+// Wald interval it stays inside [0, 1] and behaves at x = 0 and x = n, and
+// it is conservative for without-replacement (hypergeometric) sampling,
+// which is how the approximate detector uses it. n ≤ 0 returns the vacuous
+// interval [0, 1].
+func WilsonInterval(x, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(x) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZForConfidence(t *testing.T) {
+	cases := []struct {
+		conf float64
+		want float64
+	}{
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+		{0.999, 3.2905},
+	}
+	for _, c := range cases {
+		if got := ZForConfidence(c.conf); math.Abs(got-c.want) > 5e-3 {
+			t.Errorf("ZForConfidence(%g) = %.4f, want ≈ %.4f", c.conf, got, c.want)
+		}
+	}
+	// Out-of-range confidences clamp to the 0.999 default rather than
+	// producing an unusable quantile.
+	def := ZForConfidence(0.999)
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		if got := ZForConfidence(bad); got != def {
+			t.Errorf("ZForConfidence(%g) = %v, want the 0.999 default %v", bad, got, def)
+		}
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: x=5, n=10 at 95% is the textbook (0.2366, 0.7634).
+	lo, hi := WilsonInterval(5, 10, 1.96)
+	if math.Abs(lo-0.2366) > 1e-3 || math.Abs(hi-0.7634) > 1e-3 {
+		t.Errorf("WilsonInterval(5, 10, 1.96) = (%.4f, %.4f), want ≈ (0.2366, 0.7634)", lo, hi)
+	}
+
+	z := ZForConfidence(0.999)
+	for _, n := range []int{1, 7, 100, 5000} {
+		prevLo, prevHi := -1.0, -1.0
+		for x := 0; x <= n; x += 1 + n/20 {
+			lo, hi := WilsonInterval(x, n, z)
+			p := float64(x) / float64(n)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("WilsonInterval(%d, %d) = (%v, %v): not a [0,1] interval", x, n, lo, hi)
+			}
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Fatalf("WilsonInterval(%d, %d) = (%v, %v) excludes the point estimate %v", x, n, lo, hi, p)
+			}
+			// Both endpoints are monotone in x: a larger hit count never
+			// weakens either certificate direction.
+			if lo < prevLo || hi < prevHi {
+				t.Fatalf("WilsonInterval(%d, %d) endpoints not monotone in x", x, n)
+			}
+			prevLo, prevHi = lo, hi
+		}
+	}
+
+	// Degenerate sample sizes return the vacuous interval.
+	if lo, hi := WilsonInterval(0, 0, z); lo != 0 || hi != 1 {
+		t.Errorf("WilsonInterval(0, 0) = (%v, %v), want (0, 1)", lo, hi)
+	}
+	if lo, _ := WilsonInterval(0, 50, z); lo > 1e-12 {
+		t.Errorf("WilsonInterval(0, 50) lower bound %v, want ≈ 0", lo)
+	}
+	if _, hi := WilsonInterval(50, 50, z); hi < 1-1e-12 {
+		t.Errorf("WilsonInterval(50, 50) upper bound %v, want ≈ 1", hi)
+	}
+}
